@@ -1,0 +1,54 @@
+"""Ablation: self-rollout training augmentation.
+
+DESIGN.md claims rollout augmentation closes the train/inference
+distribution gap (FluidNet's long-term-stability training).  This bench
+trains the same architecture with and without rollout rounds and compares
+quality over evaluation problems.
+"""
+
+import numpy as np
+
+from repro.core import ReferenceCache
+from repro.data import generate_problems
+from repro.experiments import evaluate_solver, format_table
+from repro.models import tompson_arch, train_model
+
+
+def run_ablation(artifacts):
+    scale = artifacts.scale
+    data = artifacts.train_data
+    train_problems = generate_problems(
+        scale.offline.n_train_problems, scale.offline.grid_size, split="train"
+    )
+    eval_problems = generate_problems(scale.n_problems, scale.base_grid, split="eval")
+    reference = ReferenceCache(scale.n_steps)
+
+    epochs = scale.offline.base_epochs
+    plain = train_model(tompson_arch(), data, epochs=epochs, rng=3)
+    rollout = train_model(
+        tompson_arch(), data, epochs=epochs, rng=3,
+        rollout_problems=train_problems, rollout_rounds=2,
+    )
+    out = {}
+    for name, model in (("no-rollout", plain), ("rollout", rollout)):
+        stats = evaluate_solver(lambda m=model: m.solver(passes=2), eval_problems, reference)
+        out[name] = (
+            float(np.mean([s.quality_loss for s in stats])),
+            float(np.mean([s.cumdivnorm_final for s in stats])),
+        )
+    return out
+
+
+def test_ablation_rollout(benchmark, artifacts, report):
+    out = benchmark.pedantic(run_ablation, args=(artifacts,), rounds=1, iterations=1)
+    report(
+        "ablation_rollout",
+        format_table(
+            ["Training", "Mean Qloss", "Mean CumDivNorm"],
+            [[k, v[0], v[1]] for k, v in out.items()],
+            title="Ablation: self-rollout augmentation",
+        ),
+    )
+    # rollout training controls long-horizon divergence drift
+    assert out["rollout"][1] < out["no-rollout"][1] * 1.5
+    assert out["rollout"][0] < out["no-rollout"][0] * 1.5

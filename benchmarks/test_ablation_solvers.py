@@ -1,0 +1,71 @@
+"""Ablation: exact-solver design choices of the substrate.
+
+* MIC(0) preconditioning vs Jacobi vs none — iteration counts on the same
+  systems (DESIGN.md: MIC(0) is the paper's MICCG(0) solver).
+* Interior-aligned multigrid depth — convergence across hierarchy depths
+  (DESIGN.md caps the depth at 3).
+"""
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.fluid import MACGrid2D, MultigridSolver, PCGSolver, make_smoke_plume
+
+
+def _rhs(solid, seed):
+    rng = np.random.default_rng(seed)
+    fluid = ~solid
+    b = np.where(fluid, rng.standard_normal(solid.shape), 0.0)
+    return np.where(fluid, b - b[fluid].mean(), 0.0)
+
+
+def run_preconditioner_sweep():
+    rows = []
+    for precond in ("mic0", "jacobi", "none"):
+        iters = []
+        for seed in range(4):
+            grid, _ = make_smoke_plume(34, 34, rng=seed)
+            res = PCGSolver(tol=1e-7, preconditioner=precond).solve(_rhs(grid.solid, seed), grid.solid)
+            assert res.converged
+            iters.append(res.iterations)
+        rows.append((precond, float(np.mean(iters))))
+    return rows
+
+
+def run_multigrid_depth_sweep():
+    rows = []
+    grid = MACGrid2D(34, 34)
+    b = _rhs(grid.solid, 0)
+    for depth in (1, 2, 3):
+        res = MultigridSolver(tol=1e-7, max_cycles=400, max_levels=depth).solve(b, grid.solid)
+        rows.append((depth, res.iterations, res.converged))
+    return rows
+
+
+def test_ablation_preconditioner(benchmark, report):
+    rows = benchmark.pedantic(run_preconditioner_sweep, rounds=1, iterations=1)
+    report(
+        "ablation_preconditioner",
+        format_table(
+            ["Preconditioner", "Mean CG iterations"],
+            [list(r) for r in rows],
+            title="Ablation: PCG preconditioning (tol 1e-7, 34x34 plumes)",
+        ),
+    )
+    by = dict(rows)
+    assert by["mic0"] < by["jacobi"] <= by["none"] * 1.05
+
+
+def test_ablation_multigrid_depth(benchmark, report):
+    rows = benchmark.pedantic(run_multigrid_depth_sweep, rounds=1, iterations=1)
+    report(
+        "ablation_multigrid_depth",
+        format_table(
+            ["Levels", "V-cycles", "Converged"],
+            [list(r) for r in rows],
+            title="Ablation: multigrid hierarchy depth (34x34, clean domain)",
+        ),
+    )
+    cycles = {r[0]: r[1] for r in rows}
+    assert all(r[2] for r in rows)  # every depth converges on clean walls
+    assert cycles[3] < cycles[1]  # deeper hierarchy = fewer cycles

@@ -1,0 +1,23 @@
+"""Figure 10: speedup of each model candidate alone vs Smart-fluidnet.
+
+Paper shape: candidate speedups span a wide range (141x-541x); the adaptive
+runtime lands near the candidates' median (440x) — the cost of adapting.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig10_11_table3
+
+
+def test_fig10_candidate_speedup(benchmark, artifacts, report):
+    fig, _ = benchmark.pedantic(run_fig10_11_table3, args=(artifacts,), rounds=1, iterations=1)
+    report(
+        "fig10_11",
+        fig.format() + "\n(paper: candidates 141x-541x, Smart 440x ~ median)",
+    )
+
+    speeds = [c.speedup for c in fig.candidates]
+    assert all(s > 0 for s in speeds)
+    # Smart sits within (or near) the candidates' speed envelope
+    assert fig.smart.speedup >= 0.5 * min(speeds)
+    assert fig.smart.speedup <= 2.0 * max(speeds)

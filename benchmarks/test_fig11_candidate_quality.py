@@ -1,0 +1,26 @@
+"""Figure 11: quality-loss variation of candidates alone vs Smart-fluidnet.
+
+Paper shape: Smart's variation is much smaller than any fixed candidate's;
+its success rate (91.05%) approaches the most accurate model's (92.71%)
+while the fastest model manages only 12.52%.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig10_11_table3
+
+
+def test_fig11_candidate_quality(benchmark, artifacts, report):
+    fig, _ = benchmark.pedantic(run_fig10_11_table3, args=(artifacts,), rounds=1, iterations=1)
+    success = [f"{c.model}: {100 * c.success:.1f}%" for c in fig.candidates]
+    report(
+        "fig11",
+        "Figure 11 success rates: " + ", ".join(success) + f"; smart {100 * fig.smart.success:.1f}%",
+    )
+
+    iqrs = [c.qloss.iqr for c in fig.candidates]
+    # Smart's spread is not worse than the candidates' typical spread
+    assert fig.smart.qloss.iqr <= 1.5 * float(np.median(iqrs)) + 1e-9
+    # Smart's success approaches the best fixed candidate's
+    best = max(c.success for c in fig.candidates)
+    assert fig.smart.success >= best - 0.35

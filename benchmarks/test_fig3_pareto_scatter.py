@@ -1,0 +1,27 @@
+"""Figure 3: the model family's (time, quality) scatter and Pareto front.
+
+Paper shape: 133 models spread over the trade-off plane, 14 selected on the
+front (lowest time, lowest loss, or both).
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_pareto_scatter(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_fig3, args=(artifacts,), rounds=1, iterations=1)
+    report("fig3", result.format())
+
+    assert result.n_models > result.n_selected >= 1
+    selected = sorted(
+        (p for p in result.points if p.selected), key=lambda p: p.time_seconds
+    )
+    # along the front, spending more time must buy strictly better quality
+    for a, b in zip(selected, selected[1:]):
+        assert b.quality_loss <= a.quality_loss
+    # the front contains the family's best quality and its best time
+    best_q = min(p.quality_loss for p in result.points)
+    best_t = min(p.time_seconds for p in result.points)
+    assert any(p.quality_loss == best_q for p in selected)
+    assert any(p.time_seconds == best_t for p in selected)

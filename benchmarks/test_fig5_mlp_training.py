@@ -1,0 +1,24 @@
+"""Figure 5: training-loss curves of the MLP1-MLP5 topologies.
+
+Paper shape: all five converge; MLP3 offers the best accuracy/size balance,
+with the deeper MLP4/MLP5 showing no significant advantage.
+"""
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_mlp_training(benchmark, artifacts, report):
+    result = benchmark.pedantic(
+        run_fig5, args=(artifacts,), kwargs={"epochs": 80}, rounds=1, iterations=1
+    )
+    report("fig5", result.format())
+
+    assert set(result.curves) == {"mlp1", "mlp2", "mlp3", "mlp4", "mlp5"}
+    for name, curve in result.curves.items():
+        assert len(curve) == 80
+        assert curve[-1] < curve[0], f"{name} did not converge"
+    # deeper variants have more parameters, as drawn in the paper
+    params = [result.param_counts[f"mlp{i}"] for i in range(1, 6)]
+    assert params == sorted(params)
+    # the deepest model should not be dramatically better than MLP3
+    assert result.final["mlp5"] > 0.5 * result.final["mlp3"]

@@ -1,0 +1,28 @@
+"""Figure 6: DivNorm / CumDivNorm / Qloss^ts over the simulation.
+
+Paper shape: DivNorm stabilises after the first steps; CumDivNorm and the
+running quality loss grow with the same trend, correlating strongly
+(rp = 0.61, rs = 0.79).
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_cumdivnorm(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_fig6, args=(artifacts,), rounds=1, iterations=1)
+    report(
+        "fig6",
+        result.format() + "\n(paper: rp = 0.61, rs = 0.79 — strong association)",
+    )
+
+    # CumDivNorm is non-decreasing by construction
+    assert (np.diff(result.cumdivnorm) >= -1e-12).all()
+    # observation 1: late DivNorm is stable relative to its running peak
+    n = len(result.divnorm)
+    late = result.divnorm[n // 2 :]
+    assert late.max() <= 3.0 * max(result.divnorm.max(), 1e-30)
+    # observation 2: strong positive correlation (paper's headline numbers)
+    assert result.pearson > 0.49
+    assert result.spearman > 0.49

@@ -1,0 +1,24 @@
+"""Figure 9: quality-loss distributions per grid size (boxplots).
+
+Paper shape: Smart-fluidnet's outputs sit closer to the target and vary
+less than Tompson's across all grid sizes.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig9_table2
+
+
+def test_fig9_quality_by_grid(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_fig9_table2, args=(artifacts,), rounds=1, iterations=1)
+    report("fig9_table2", result.format())
+
+    assert len(result.rows) == len(artifacts.scale.grid_sizes)
+    for row in result.rows:
+        assert row.tompson.hi >= row.tompson.lo >= 0
+        assert row.smart.hi >= row.smart.lo >= 0
+    # paper observation 2: Smart's spread is smaller than Tompson's on
+    # average across grid sizes
+    t_iqr = np.mean([r.tompson.iqr for r in result.rows])
+    s_iqr = np.mean([r.smart.iqr for r in result.rows])
+    assert s_iqr <= 1.5 * t_iqr

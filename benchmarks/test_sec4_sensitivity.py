@@ -1,0 +1,24 @@
+"""Section 4 sensitivity studies of the construction parameters.
+
+Paper shape: pruning two layers hurts badly (20% loss); pooling more stages
+degrades quality (10% neurons ok, 20-30% not); dropout 15% is worse than
+5-10%; the dropout-model count controls the family (and candidate) size.
+"""
+
+from repro.experiments import run_sec4_sensitivity
+
+
+def test_sec4_sensitivity(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_sec4_sensitivity, args=(artifacts,), rounds=1, iterations=1)
+    report("sec4_sensitivity", result.format())
+
+    # (1) deeper pruning cannot beat shallow pruning
+    assert result.prune_depth[2] >= 0.8 * result.prune_depth[1]
+    # (2) pooling three stages cannot beat pooling one
+    assert result.pool_stages[3] >= 0.8 * result.pool_stages[1]
+    # (3) all dropout rates produce finite quality
+    assert all(v >= 0 for v in result.dropout_rate.values())
+    # (4) family size grows monotonically with the dropout-model count
+    counts = [result.n_dropout_models[k] for k in sorted(result.n_dropout_models)]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]

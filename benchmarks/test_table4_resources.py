@@ -1,0 +1,28 @@
+"""Table 4: FLOP per step and memory of PCG / Tompson / Smart-fluidnet.
+
+Paper shape: Smart needs fewer FLOPs than Tompson (110.97M vs 243.79M; PCG
+~1,250M) — that is where its speed comes from — but more memory (1,069MB vs
+299MB), because all runtime models stay resident on the GPU.
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4_resources(benchmark, artifacts, report):
+    result = benchmark.pedantic(run_table4, args=(artifacts,), rounds=1, iterations=1)
+    report(
+        "table4",
+        result.format()
+        + "\n(paper @512x512: PCG ~1250M / 332MB, Tompson 243.79M / 299MB, "
+        "Smart 110.97M / 1069MB)",
+    )
+
+    pcg = result.by_method("pcg")
+    tompson = result.by_method("tompson")
+    smart = result.by_method("smart-fluidnet")
+    # Smart computes less than the fixed model...
+    assert smart.mflop_single_step < tompson.mflop_single_step
+    # ...but holds several models resident, so it uses the most memory
+    assert smart.memory_mb > tompson.memory_mb
+    assert smart.memory_mb > pcg.memory_mb
+    assert pcg.mflop_single_step > 0

@@ -1,0 +1,68 @@
+"""Smart-fluidnet end to end: offline phase, then adaptive online runs.
+
+Builds the full offline pipeline (input-model training, Auto-Keras-style
+search, the four transformation operations, Pareto + MLP + Eq. 8 selection,
+KNN databases) at a small scale, then simulates unseen smoke plumes with the
+quality-aware model-switch runtime and prints what the scheduler did.
+
+Run:  python examples/adaptive_smoke_plume.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ConstructionConfig,
+    OfflineConfig,
+    SearchConfig,
+    SmartFluidnet,
+    quality_loss,
+)
+from repro.core.records import ReferenceCache
+from repro.data import generate_problems
+
+
+def main() -> None:
+    cfg = OfflineConfig(
+        grid_size=24,
+        n_train_problems=4,
+        n_calibration_problems=3,
+        n_small_problems=5,
+        small_grid_size=16,
+        train_steps=6,
+        eval_steps=16,
+        base_epochs=20,
+        rollout_rounds=1,
+        search=SearchConfig(iterations=1, proposals_per_iteration=3,
+                            evaluations_per_iteration=1, train_epochs=4, keep=2),
+        construction=ConstructionConfig(n_shallow=3, narrows_per_model=2,
+                                        n_dropout=3, fine_tune_epochs=2),
+        mlp_epochs=100,
+    )
+    print("running the offline phase (this trains a small model family) ...")
+    smart = SmartFluidnet.build_offline(config=cfg, rng=0, verbose=True)
+
+    print(f"\nuser requirement: qloss <= {smart.requirement.q:.4f}, "
+          f"time <= {smart.requirement.t:.3f}s")
+    print("runtime models (MLP probability, mean solver seconds):")
+    for sel in smart.runtime_models:
+        print(f"  {sel.name:45s} p={sel.success_prob:.2f} t={sel.model_seconds:.4f}s")
+
+    problems = generate_problems(3, cfg.grid_size, split="eval")
+    reference = ReferenceCache(cfg.eval_steps, cfg.simulation)
+    print("\nonline phase:")
+    for problem in problems:
+        run = smart.run(problem)
+        ref = reference.reference(problem)
+        q = quality_loss(ref.density, run.result.density)
+        status = "RESTARTED with PCG" if run.restarted else "ok"
+        print(f"\nproblem seed={problem.seed}: qloss={q:.4f} ({status})")
+        print(f"  steps per model: {run.stats.steps_per_model}")
+        for sw in run.stats.switches:
+            print(f"  step {sw.step:3d}: {sw.from_model} -> {sw.to_model} "
+                  f"(predicted qloss {sw.predicted_qloss:.4f})")
+        if not run.stats.switches:
+            print("  no switches: the starting model was predicted to satisfy U(q, t)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Explore the quality/time trade-off of a transformed model family.
+
+Reproduces the Section 4 construction at miniature scale: starting from a
+trained Tompson-style model, applies shallow / narrow / pooling / dropout to
+build a family, measures every member's solver time and quality loss on
+calibration problems, and prints the family with its Pareto front — the data
+behind the paper's Figure 3.
+
+Run:  python examples/model_zoo_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ConstructionConfig,
+    ReferenceCache,
+    collect_execution_records,
+    construct_model_family,
+    pareto_select,
+)
+from repro.data import collect_training_frames, generate_problems
+from repro.models import tompson_arch, train_model
+
+GRID = 24
+
+
+def main() -> None:
+    print("training the base model ...")
+    train_problems = generate_problems(4, GRID, split="train")
+    data = collect_training_frames(train_problems, n_steps=6)
+    base = train_model(tompson_arch(channels=8), data, epochs=20, rng=0)
+    base.spec.name = "tompson"
+
+    print("constructing the transformed family ...")
+    cfg = ConstructionConfig(
+        n_shallow=3, narrows_per_model=2, n_dropout=4, fine_tune_epochs=2
+    )
+    family = construct_model_family(base, data, cfg, rng=0)
+    models = [base] + family
+    print(f"  {len(family)} transformed models "
+          f"(paper scale would be 128: 5 shallow -> 55 narrow -> 110 pooled -> 128)")
+
+    print("measuring execution records on calibration problems ...")
+    calib = generate_problems(3, GRID, split="eval")
+    reference = ReferenceCache(n_steps=12)
+    records = collect_execution_records(models, calib, reference, passes=2)
+
+    stats = {}
+    for r in records:
+        stats.setdefault(r.model_name, []).append(r)
+    rows = [
+        (
+            name,
+            float(np.mean([r.execution_seconds for r in recs])),
+            float(np.mean([r.quality_loss for r in recs])),
+        )
+        for name, recs in stats.items()
+    ]
+    selected = {
+        m.name
+        for m in pareto_select(models, [row[1] for row in rows], [row[2] for row in rows])
+    }
+
+    print(f"\n{'model':48s} {'time(s)':>9s} {'qloss':>8s}  pareto")
+    for name, secs, q in sorted(rows, key=lambda r: r[1]):
+        mark = "  *" if name in selected else ""
+        print(f"{name:48s} {secs:9.4f} {q:8.4f}{mark}")
+    print(f"\n{len(selected)} model candidates on the Pareto front "
+          "(the paper keeps 14 of 133)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Smart-fluidnet: adaptive neural-network approximation for Eulerian fluid
+simulation.
+
+Reproduction of Dong, Liu, Xie & Li, "Adaptive Neural Network-Based
+Approximation to Accelerate Eulerian Fluid Simulation" (SC '19).
+
+Subpackages
+-----------
+``repro.fluid``
+    The mantaflow-equivalent substrate: 2-D MAC-grid smoke simulation with
+    semi-Lagrangian advection, buoyancy and PCG/MICCG(0) pressure
+    projection (plus Jacobi and multigrid solvers).
+``repro.nn``
+    A from-scratch NumPy neural-network framework (conv / pool / unpool /
+    dense / dropout / residual, backprop, Adam, DivNorm loss, FLOP
+    accounting).
+``repro.models``
+    Architecture specs, the Tompson and Yang baselines, training with
+    rollout augmentation, and the NN pressure-solver adapter.
+``repro.data``
+    Reproducible input-problem datasets and training-frame collection.
+``repro.core``
+    Smart-fluidnet itself: the four transformation operations, the
+    Auto-Keras-style accurate-model search, Pareto selection, the
+    success-rate MLP, Eq. 8 filtering, the CumDivNorm/KNN quality
+    predictors, and the quality-aware model-switch runtime (Algorithm 2).
+``repro.experiments``
+    One module per table/figure of the paper's evaluation.
+"""
+
+from .core import OfflineConfig, SmartFluidnet, UserRequirement
+
+__version__ = "1.0.0"
+
+__all__ = ["SmartFluidnet", "UserRequirement", "OfflineConfig", "__version__"]

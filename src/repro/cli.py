@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``     run one smoke-plume problem and print/render the result
+``experiment``   regenerate one of the paper's tables/figures
+``offline``      build the Smart-fluidnet offline phase and save it
+``report``       run every experiment and write one combined report
+``adaptive``     run the adaptive online phase from a saved framework
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": "run_table1",
+    "fig1": "run_fig1",
+    "fig3": "run_fig3",
+    "fig5": "run_fig5",
+    "fig6": "run_fig6",
+    "fig8": "run_fig8",
+    "fig9": "run_fig9_table2",
+    "table2": "run_fig9_table2",
+    "fig13": "run_fig13",
+    "table4": "run_table4",
+    "sec4": "run_sec4_sensitivity",
+    "fig12": "run_fig12",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Smart-fluidnet reproduction (SC'19) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one smoke-plume input problem")
+    sim.add_argument("--grid", type=int, default=32)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--steps", type=int, default=16)
+    sim.add_argument("--solver", choices=["pcg", "jacobi-pcg", "multigrid"], default="pcg")
+    sim.add_argument("--ascii", action="store_true", help="print an ASCII rendering")
+    sim.add_argument("--pgm", type=str, default=None, help="save the final frame as PGM")
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure of the paper")
+    exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    exp.add_argument("--scale", choices=["ci", "default", "paper"], default=None)
+
+    off = sub.add_parser("offline", help="build the offline phase and save it")
+    off.add_argument("output", type=str, help="directory to save the framework into")
+    off.add_argument("--grid", type=int, default=32)
+    off.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("report", help="run every experiment and write one report")
+    rep.add_argument("--scale", choices=["ci", "default", "paper"], default=None)
+    rep.add_argument("--output", type=str, default=None)
+
+    ada = sub.add_parser("adaptive", help="run the adaptive phase from a saved framework")
+    ada.add_argument("framework", type=str, help="directory saved by 'offline'")
+    ada.add_argument("--grid", type=int, default=32)
+    ada.add_argument("--seed", type=int, default=0)
+    ada.add_argument("--steps", type=int, default=16)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from repro.data import InputProblem
+    from repro.fluid import FluidSimulator, MultigridSolver, PCGSolver
+    from repro import viz
+
+    solver = {
+        "pcg": lambda: PCGSolver(),
+        "jacobi-pcg": lambda: PCGSolver(preconditioner="jacobi"),
+        "multigrid": lambda: MultigridSolver(),
+    }[args.solver]()
+    grid, source = InputProblem(args.grid, args.seed).materialize()
+    sim = FluidSimulator(grid, solver, source)
+    t0 = time.perf_counter()
+    result = sim.run(args.steps)
+    dt = time.perf_counter() - t0
+    print(
+        f"{args.grid}x{args.grid}, {args.steps} steps with {args.solver}: "
+        f"{dt:.2f}s total, {result.solve_seconds:.2f}s in the pressure solver"
+    )
+    if args.ascii:
+        print(viz.to_ascii(result.density))
+    if args.pgm:
+        path = viz.save_pgm(result.density, args.pgm)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import repro.experiments as experiments
+    from repro.experiments import build_artifacts, get_scale
+
+    artifacts = build_artifacts(get_scale(args.scale))
+    runner = getattr(experiments, _EXPERIMENTS[args.name])
+    result = runner(artifacts)
+    if isinstance(result, tuple):
+        for part in result:
+            print(part.format())
+    else:
+        print(result.format())
+    return 0
+
+
+def _cmd_offline(args) -> int:
+    from repro.core import OfflineConfig, SmartFluidnet
+    from repro.io import save_framework
+
+    cfg = OfflineConfig(grid_size=args.grid)
+    framework = SmartFluidnet.build_offline(config=cfg, rng=args.seed, verbose=True)
+    path = save_framework(framework, args.output)
+    print(f"saved framework with {len(framework.runtime_models)} runtime models to {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import build_artifacts, generate_report, get_scale
+
+    text = generate_report(build_artifacts(get_scale(args.scale)), output=args.output)
+    print(text)
+    if args.output:
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def _cmd_adaptive(args) -> int:
+    from repro.data import InputProblem
+    from repro.io import load_framework
+
+    framework = load_framework(args.framework)
+    run = framework.run(InputProblem(args.grid, args.seed), args.steps)
+    print(f"requirement: qloss <= {framework.requirement.q:.4f}")
+    print(f"restarted: {run.restarted}")
+    print(f"steps per model: {run.stats.steps_per_model}")
+    for sw in run.stats.switches:
+        print(f"  step {sw.step}: {sw.from_model} -> {sw.to_model}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return {
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "offline": _cmd_offline,
+        "report": _cmd_report,
+        "adaptive": _cmd_adaptive,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Smart-fluidnet core: construction, selection and the adaptive runtime."""
+
+from .metrics import (
+    correlation_strength,
+    cum_divnorm,
+    pearson_r,
+    quality_loss,
+    spearman_r,
+)
+from .pareto import pareto_front, pareto_select
+from .bst import BinarySearchTree, BSTNode
+from .knn import QlossKNNPredictor
+from .regression import LinearTrend, fit_linear_trend, predict_final_cumdivnorm
+from .features import FEATURE_DIM, FeatureScaler, build_feature_vector
+from .transforms import dropout, inherit_matching_weights, narrow, pooling, shallow
+from .records import (
+    ExecutionRecord,
+    ReferenceCache,
+    collect_execution_records,
+    run_problem,
+    success_rate,
+)
+from .selector_mlp import (
+    MLP_TOPOLOGIES,
+    SuccessRateMLP,
+    build_success_mlp,
+    make_training_samples,
+)
+from .selection import SelectedModel, expected_total_time, select_runtime_models
+from .search import RBFSurrogate, SearchConfig, morph, search_accurate_models
+from .construction import ConstructionConfig, construct_model_family
+from .scheduler import AdaptiveController, AdaptiveStats, SwitchEvent
+from .framework import AdaptiveRunResult, OfflineConfig, SmartFluidnet, UserRequirement
+
+__all__ = [
+    "quality_loss",
+    "cum_divnorm",
+    "pearson_r",
+    "spearman_r",
+    "correlation_strength",
+    "pareto_front",
+    "pareto_select",
+    "BinarySearchTree",
+    "BSTNode",
+    "QlossKNNPredictor",
+    "LinearTrend",
+    "fit_linear_trend",
+    "predict_final_cumdivnorm",
+    "FEATURE_DIM",
+    "FeatureScaler",
+    "build_feature_vector",
+    "shallow",
+    "narrow",
+    "pooling",
+    "dropout",
+    "inherit_matching_weights",
+    "ExecutionRecord",
+    "ReferenceCache",
+    "collect_execution_records",
+    "run_problem",
+    "success_rate",
+    "MLP_TOPOLOGIES",
+    "SuccessRateMLP",
+    "build_success_mlp",
+    "make_training_samples",
+    "SelectedModel",
+    "expected_total_time",
+    "select_runtime_models",
+    "RBFSurrogate",
+    "SearchConfig",
+    "morph",
+    "search_accurate_models",
+    "ConstructionConfig",
+    "construct_model_family",
+    "AdaptiveController",
+    "AdaptiveStats",
+    "SwitchEvent",
+    "AdaptiveRunResult",
+    "OfflineConfig",
+    "SmartFluidnet",
+    "UserRequirement",
+]

@@ -1,0 +1,171 @@
+"""Balanced binary search tree with k-nearest-key queries.
+
+The paper's runtime stores its (CumDivNorm_final, Qloss) history pairs "as a
+binary search tree, such that finding the four pairs is cheap" (Section 6.1).
+This is that tree: keys are floats, values arbitrary; ``nearest(key, k)``
+returns the k entries whose keys are closest to the query.
+
+The tree is built balanced from sorted input and supports incremental
+insertion (unbalanced), which is all the runtime needs; queries walk the
+root-to-leaf search path and then expand outward with predecessor/successor
+steps, i.e. O(log n + k) on a balanced tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["BSTNode", "BinarySearchTree"]
+
+
+@dataclass
+class BSTNode:
+    """A tree node holding one (key, value) pair."""
+
+    key: float
+    value: Any
+    left: "BSTNode | None" = None
+    right: "BSTNode | None" = None
+
+
+class BinarySearchTree:
+    """Float-keyed BST with balanced bulk construction and k-NN queries."""
+
+    def __init__(self):
+        self.root: BSTNode | None = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: list[tuple[float, Any]]) -> "BinarySearchTree":
+        """Build a balanced tree from (key, value) pairs."""
+        tree = cls()
+        ordered = sorted(pairs, key=lambda kv: kv[0])
+
+        def build(lo: int, hi: int) -> BSTNode | None:
+            if lo >= hi:
+                return None
+            mid = (lo + hi) // 2
+            node = BSTNode(ordered[mid][0], ordered[mid][1])
+            node.left = build(lo, mid)
+            node.right = build(mid + 1, hi)
+            return node
+
+        tree.root = build(0, len(ordered))
+        tree._size = len(ordered)
+        return tree
+
+    def insert(self, key: float, value: Any) -> None:
+        """Insert a pair (standard, unbalanced insertion)."""
+        node = BSTNode(key, value)
+        self._size += 1
+        if self.root is None:
+            self.root = node
+            return
+        cur = self.root
+        while True:
+            if key < cur.key:
+                if cur.left is None:
+                    cur.left = node
+                    return
+                cur = cur.left
+            else:
+                if cur.right is None:
+                    cur.right = node
+                    return
+                cur = cur.right
+
+    # ------------------------------------------------------------------
+    def _inorder(self, node: BSTNode | None) -> Iterator[BSTNode]:
+        if node is None:
+            return
+        yield from self._inorder(node.left)
+        yield node
+        yield from self._inorder(node.right)
+
+    def items(self) -> list[tuple[float, Any]]:
+        """All pairs in ascending key order."""
+        return [(n.key, n.value) for n in self._inorder(self.root)]
+
+    def height(self) -> int:
+        """Tree height (0 for a single node, -1 for empty)."""
+
+        def h(node: BSTNode | None) -> int:
+            if node is None:
+                return -1
+            return 1 + max(h(node.left), h(node.right))
+
+        return h(self.root)
+
+    # ------------------------------------------------------------------
+    def nearest(self, key: float, k: int = 4) -> list[tuple[float, Any]]:
+        """The ``k`` pairs with keys closest to ``key`` (distance ties keep
+        the smaller key).
+
+        Walks the search path to find the insertion point, then merges
+        outward over the two in-order frontiers — the BST equivalent of a
+        two-pointer expansion around a sorted-array bisect.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self.root is None:
+            return []
+
+        # two descending-stack iterators seeded from the root-to-leaf search
+        # path: predecessors yield keys <= query in descending order,
+        # successors yield keys > query in ascending order
+        pred_stack: list[BSTNode] = []
+        cur = self.root
+        while cur is not None:
+            if cur.key <= key:
+                pred_stack.append(cur)
+                cur = cur.right
+            else:
+                cur = cur.left
+
+        succ_stack: list[BSTNode] = []
+        cur = self.root
+        while cur is not None:
+            if cur.key > key:
+                succ_stack.append(cur)
+                cur = cur.left
+            else:
+                cur = cur.right
+
+        def predecessors() -> Iterator[BSTNode]:
+            while pred_stack:
+                node = pred_stack.pop()
+                yield node
+                child = node.left
+                while child is not None:
+                    pred_stack.append(child)
+                    child = child.right
+
+        def successors() -> Iterator[BSTNode]:
+            while succ_stack:
+                node = succ_stack.pop()
+                yield node
+                child = node.right
+                while child is not None:
+                    succ_stack.append(child)
+                    child = child.left
+
+        pred = predecessors()
+        succ = successors()
+        lo = next(pred, None)
+        hi = next(succ, None)
+        out: list[tuple[float, Any]] = []
+        while len(out) < min(k, self._size):
+            if lo is None and hi is None:
+                break
+            if hi is None or (lo is not None and abs(lo.key - key) <= abs(hi.key - key)):
+                out.append((lo.key, lo.value))
+                lo = next(pred, None)
+            else:
+                out.append((hi.key, hi.value))
+                hi = next(succ, None)
+        return out

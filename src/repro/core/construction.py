@@ -1,0 +1,148 @@
+"""The model-construction pipeline (Section 4).
+
+Starting from the input network (Tompson's model), the pipeline applies the
+four transformation operations *in the paper's order* — the operations that
+shed the most computation run first:
+
+1. ``shallow`` on each deletable stage        ->  5 models
+2. ``narrow`` ten times on each of those      -> +50 models (55)
+3. ``pooling`` once on each of the 55         -> +55 models (110)
+4. ``dropout`` on 18 randomly-chosen models   -> +18 models (128)
+
+plus the five accurate models found by the Auto-Keras-style search = 133.
+Every transformed model inherits its parent's weights and gets a brief
+fine-tune.  All counts are configurable so tests and CI-scale benches can
+run a miniature pipeline with the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models import TrainedModel, train_model
+
+from . import transforms
+
+__all__ = ["ConstructionConfig", "construct_model_family"]
+
+
+@dataclass
+class ConstructionConfig:
+    """Counts and training budget of the construction pipeline.
+
+    Defaults follow the paper exactly (5/10/…/18); shrink them for tests.
+    """
+
+    n_shallow: int = 5
+    narrows_per_model: int = 10
+    n_dropout: int = 18
+    dropout_p: float = 0.1
+    pooling_factor: int = 2
+    fine_tune_epochs: int = 4
+    lr: float = 1e-3
+    batch_size: int = 16
+    # optional self-rollout augmentation during each child's fine-tune:
+    # closes the distribution gap so transformed models keep quality close
+    # to their parent (see repro.models.training)
+    rollout_rounds: int = 0
+    rollout_epochs: int = 4
+    rollout_steps: int = 6
+
+
+def _fine_tune(
+    model: TrainedModel, data, cfg: ConstructionConfig, rng, rollout_problems=None
+) -> TrainedModel:
+    if cfg.fine_tune_epochs <= 0:
+        return model
+    tuned = train_model(
+        model.spec,
+        data,
+        epochs=cfg.fine_tune_epochs,
+        lr=cfg.lr,
+        batch_size=cfg.batch_size,
+        rng=rng,
+        network=model.network,
+        rollout_problems=rollout_problems if cfg.rollout_rounds > 0 else None,
+        rollout_rounds=cfg.rollout_rounds,
+        rollout_epochs=cfg.rollout_epochs,
+        rollout_steps=cfg.rollout_steps,
+    )
+    tuned.metadata.update(model.metadata)
+    return tuned
+
+
+def construct_model_family(
+    base: TrainedModel,
+    data: dict[str, np.ndarray],
+    config: ConstructionConfig | None = None,
+    rng=0,
+    rollout_problems=None,
+) -> list[TrainedModel]:
+    """Apply the four-operation pipeline to ``base``; return the new models.
+
+    The order (shallow -> narrow -> pooling -> dropout) matches Section 4:
+    operations that remove more neurons run earlier, which the paper found
+    generates models faster and more accurately than other orders.
+    """
+    cfg = config or ConstructionConfig()
+    rng = np.random.default_rng(rng)
+
+    # 1. shallow: delete each of up to n_shallow distinct stages
+    n_stages = base.spec.n_stages
+    deletable = min(cfg.n_shallow, n_stages if n_stages > 1 else 0)
+    stage_choice = rng.permutation(n_stages)[:deletable]
+    shallows: list[TrainedModel] = []
+    for stage in sorted(int(s) for s in stage_choice):
+        model = transforms.shallow(base, stage, rng=rng)
+        shallows.append(_fine_tune(model, data, cfg, rng, rollout_problems))
+
+    # 2. narrow: ten independent random narrows of each shallow model
+    narrows: list[TrainedModel] = []
+    for parent in shallows:
+        for _ in range(cfg.narrows_per_model):
+            stage = int(rng.integers(parent.spec.n_stages))
+            if parent.spec.stages[stage].channels < 2:
+                continue
+            model = transforms.narrow(parent, stage, rng=rng)
+            narrows.append(_fine_tune(model, data, cfg, rng, rollout_problems))
+
+    generation_two = shallows + narrows
+
+    # 3. pooling: one pooled variant of every model so far
+    pooled: list[TrainedModel] = []
+    for parent in generation_two:
+        unpooled = [i for i, s in enumerate(parent.spec.stages) if s.pool == 1]
+        if not unpooled:
+            continue
+        stage = int(rng.choice(unpooled))
+        model = transforms.pooling(parent, stage, factor=cfg.pooling_factor, rng=rng)
+        pooled.append(_fine_tune(model, data, cfg, rng, rollout_problems))
+
+    generation_three = generation_two + pooled
+
+    # 4. dropout on a random subset
+    n_drop = min(cfg.n_dropout, len(generation_three))
+    dropped: list[TrainedModel] = []
+    if n_drop:
+        for idx in rng.choice(len(generation_three), size=n_drop, replace=False):
+            parent = generation_three[int(idx)]
+            stage = int(rng.integers(parent.spec.n_stages))
+            model = transforms.dropout(parent, stage, p=cfg.dropout_p, rng=rng)
+            dropped.append(_fine_tune(model, data, cfg, rng, rollout_problems))
+
+    family = generation_three + dropped
+
+    # transformation parameters are drawn randomly, so two children can end
+    # up with the same descriptive name; every name-keyed table downstream
+    # (records, MLP, KNN, runtime stats) needs uniqueness
+    seen: dict[str, int] = {}
+    for model in family:
+        name = model.spec.name
+        if name in seen:
+            seen[name] += 1
+            model.spec.name = f"{name}#{seen[name]}"
+        else:
+            seen[name] = 1
+    return family

@@ -1,0 +1,62 @@
+"""Feature vectors for the success-rate MLP (Eq. 6).
+
+Each training sample encodes the user requirement and the architecture of
+one candidate network:
+
+    F = (q, t, l_k, ker_k[9], chn_k[9], pool_k[9], unp_k[9], res_k[9])
+
+for 3 + 5 * 9 = 48 components.  Features are standardised by fixed reference
+scales so the MLP sees O(1) inputs regardless of the experiment scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import ArchSpec, MAX_STAGES
+
+__all__ = ["FEATURE_DIM", "build_feature_vector", "FeatureScaler"]
+
+FEATURE_DIM = 3 + 5 * MAX_STAGES
+
+
+def build_feature_vector(q: float, t: float, arch: ArchSpec) -> np.ndarray:
+    """Raw 48-component feature vector of (requirement, architecture)."""
+    vecs = arch.architecture_vectors()
+    return np.concatenate(
+        [
+            np.array([q, t, float(arch.n_stages)]),
+            vecs["ker"],
+            vecs["chn"],
+            vecs["pool"],
+            vecs["unp"],
+            vecs["res"],
+        ]
+    )
+
+
+class FeatureScaler:
+    """Column-wise standardisation fitted on a sample matrix.
+
+    Constant columns keep scale 1 so they pass through centred.
+    """
+
+    def __init__(self):
+        self.mean: np.ndarray | None = None
+        self.scale: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "FeatureScaler":
+        """Fit mean/std per column."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != FEATURE_DIM:
+            raise ValueError(f"expected (n, {FEATURE_DIM}) features")
+        self.mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.scale = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Standardise features (requires a prior fit)."""
+        if self.mean is None or self.scale is None:
+            raise RuntimeError("scaler not fitted")
+        return (np.asarray(features, dtype=np.float64) - self.mean) / self.scale

@@ -1,0 +1,54 @@
+"""KNN prediction of the final quality loss (Section 6.1).
+
+Offline, each runtime candidate model is exercised on a set of *small* input
+problems; every run contributes one (CumDivNorm_final, Qloss) pair to a
+per-model historical database stored as a balanced binary search tree.
+Online, the runtime predicts a model's final quality loss as the mean Qloss
+of the ``k`` database entries whose CumDivNorm_final is closest to the
+extrapolated one (``k = 4`` in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bst import BinarySearchTree
+
+__all__ = ["QlossKNNPredictor"]
+
+
+class QlossKNNPredictor:
+    """Per-model (CumDivNorm_final -> Qloss) nearest-neighbour predictor."""
+
+    def __init__(self, k: int = 4):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._trees: dict[str, BinarySearchTree] = {}
+
+    def add_database(self, model_name: str, pairs: list[tuple[float, float]]) -> None:
+        """Install the historical database of one model (balanced build)."""
+        if not pairs:
+            raise ValueError(f"empty database for model {model_name!r}")
+        self._trees[model_name] = BinarySearchTree.from_pairs(pairs)
+
+    def add_observation(self, model_name: str, cumdivnorm_final: float, qloss: float) -> None:
+        """Append one pair to a model's database (online refinement)."""
+        tree = self._trees.setdefault(model_name, BinarySearchTree())
+        tree.insert(cumdivnorm_final, qloss)
+
+    def models(self) -> list[str]:
+        """Names of models with a database."""
+        return sorted(self._trees)
+
+    def database_size(self, model_name: str) -> int:
+        """Number of stored pairs for a model."""
+        return len(self._trees.get(model_name, []))
+
+    def predict(self, model_name: str, cumdivnorm_final: float) -> float:
+        """Predicted Qloss: mean over the k nearest stored pairs."""
+        tree = self._trees.get(model_name)
+        if tree is None or len(tree) == 0:
+            raise KeyError(f"no database for model {model_name!r}")
+        neighbours = tree.nearest(cumdivnorm_final, self.k)
+        return float(np.mean([q for _, q in neighbours]))

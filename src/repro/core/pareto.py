@@ -1,0 +1,44 @@
+"""Pareto-optimality model selection (Section 4, Figure 3).
+
+After constructing the 133 models, Smart-fluidnet keeps only those on the
+Pareto front of (time cost, quality loss) — the models that have the lowest
+time cost, the lowest quality loss, or an unbeaten combination of both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pareto_front", "pareto_select"]
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """Indices of non-dominated points, minimising every column.
+
+    A point dominates another when it is no worse in every objective and
+    strictly better in at least one.  Returns indices in ascending order of
+    the first objective.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be a (n, d) array")
+    n = len(pts)
+    keep = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not keep[i]:
+            continue
+        dominated = (pts <= pts[i]).all(axis=1) & (pts < pts[i]).any(axis=1)
+        if dominated.any():
+            keep[i] = False
+    idx = np.nonzero(keep)[0]
+    return idx[np.argsort(pts[idx, 0], kind="stable")]
+
+
+def pareto_select(items: list, times: list[float], qualities: list[float]) -> list:
+    """Return the items on the (time, quality-loss) Pareto front."""
+    if not (len(items) == len(times) == len(qualities)):
+        raise ValueError("items, times and qualities must have equal length")
+    if not items:
+        return []
+    idx = pareto_front(np.stack([np.asarray(times), np.asarray(qualities)], axis=1))
+    return [items[i] for i in idx]

@@ -1,0 +1,110 @@
+"""Execution records (Section 5.1).
+
+An execution record ``ER^k_n`` holds, for neural network ``k`` on input
+problem ``n``, the achieved simulation quality loss and the execution time.
+Records are the raw statistics behind the MLP's success-rate labels, the
+Pareto analysis, and the (CumDivNorm_final, Qloss) KNN databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data import InputProblem
+from repro.fluid import FluidSimulator, PCGSolver, SimulationConfig, SimulationResult
+from repro.models import TrainedModel
+
+from .metrics import quality_loss
+
+__all__ = [
+    "ExecutionRecord",
+    "ReferenceCache",
+    "run_problem",
+    "collect_execution_records",
+    "success_rate",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Outcome of one (model, problem) run."""
+
+    model_name: str
+    problem_seed: int
+    grid_size: int
+    quality_loss: float
+    execution_seconds: float
+    cumdivnorm_final: float
+
+    def meets(self, q: float, t: float) -> bool:
+        """Whether this run satisfies the user requirement U(q, t)."""
+        return self.quality_loss <= q and self.execution_seconds <= t
+
+
+class ReferenceCache:
+    """Run-and-cache PCG reference simulations per input problem."""
+
+    def __init__(self, n_steps: int, config: SimulationConfig | None = None):
+        self.n_steps = n_steps
+        self.config = config or SimulationConfig()
+        self._cache: dict[tuple[int, int], SimulationResult] = {}
+
+    def reference(self, problem: InputProblem) -> SimulationResult:
+        """The exact-solver result for a problem (cached)."""
+        key = (problem.grid_size, problem.seed)
+        if key not in self._cache:
+            grid, source = problem.materialize()
+            sim = FluidSimulator(grid, PCGSolver(), source, self.config)
+            self._cache[key] = sim.run(self.n_steps)
+        return self._cache[key]
+
+
+def run_problem(
+    solver,
+    problem: InputProblem,
+    n_steps: int,
+    config: SimulationConfig | None = None,
+) -> SimulationResult:
+    """Run one problem with an arbitrary pressure solver."""
+    grid, source = problem.materialize()
+    sim = FluidSimulator(grid, solver, source, config or SimulationConfig())
+    return sim.run(n_steps)
+
+
+def collect_execution_records(
+    models: list[TrainedModel],
+    problems: list[InputProblem],
+    reference: ReferenceCache,
+    passes: int = 2,
+) -> list[ExecutionRecord]:
+    """Run every model on every problem and score against the reference.
+
+    Execution time is the solver time of the approximate run (the part the
+    networks replace); quality loss is Eq. 3 against the PCG density.
+    """
+    records: list[ExecutionRecord] = []
+    for model in models:
+        solver = model.solver(passes=passes)
+        for problem in problems:
+            ref = reference.reference(problem)
+            res = run_problem(solver, problem, reference.n_steps, reference.config)
+            records.append(
+                ExecutionRecord(
+                    model_name=model.name,
+                    problem_seed=problem.seed,
+                    grid_size=problem.grid_size,
+                    quality_loss=quality_loss(ref.density, res.density),
+                    execution_seconds=res.solve_seconds,
+                    cumdivnorm_final=float(res.cumdivnorm_history[-1]),
+                )
+            )
+    return records
+
+
+def success_rate(records: list[ExecutionRecord], q: float, t: float) -> float:
+    """Fraction of records meeting the requirement U(q, t) — the MLP label."""
+    if not records:
+        raise ValueError("no records")
+    return float(np.mean([r.meets(q, t) for r in records]))

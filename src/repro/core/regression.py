@@ -1,0 +1,63 @@
+"""Linear-regression prediction of the final CumDivNorm (Section 6.1).
+
+Smart-fluidnet's runtime checks quality every ``check_interval`` (5) steps.
+CumDivNorm grows quickly in the first few steps and then at a stable rate,
+so within each interval the runtime skips the first two steps, fits a line
+``f(x) = a x + b`` through the remaining three (step index, CumDivNorm)
+points by least squares, and extrapolates to the final time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearTrend", "fit_linear_trend", "predict_final_cumdivnorm"]
+
+
+@dataclass
+class LinearTrend:
+    """A fitted line ``f(x) = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def __call__(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_linear_trend(steps: np.ndarray, values: np.ndarray) -> LinearTrend:
+    """Least-squares line through (step, value) points."""
+    steps = np.asarray(steps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if steps.shape != values.shape or steps.ndim != 1:
+        raise ValueError("steps and values must be equal-length 1-D arrays")
+    if len(steps) < 2:
+        raise ValueError("need at least two points for a trend")
+    a = np.stack([steps, np.ones_like(steps)], axis=1)
+    coef, *_ = np.linalg.lstsq(a, values, rcond=None)
+    return LinearTrend(slope=float(coef[0]), intercept=float(coef[1]))
+
+
+def predict_final_cumdivnorm(
+    cumdivnorm: np.ndarray,
+    final_step: int,
+    check_interval: int = 5,
+    skip: int = 2,
+) -> float:
+    """Extrapolate CumDivNorm at ``final_step`` from the latest interval.
+
+    ``cumdivnorm`` holds the values of all completed steps.  Within the most
+    recent ``check_interval`` steps the first ``skip`` are discarded (the
+    paper skips two of five so the trend is measured where growth is
+    stable); the remainder fit the line.
+    """
+    cumdivnorm = np.asarray(cumdivnorm, dtype=np.float64)
+    n = len(cumdivnorm)
+    if n < check_interval:
+        raise ValueError(f"need at least {check_interval} steps, have {n}")
+    skip = min(skip, check_interval - 2)  # keep >= 2 points for the fit
+    window = np.arange(n - check_interval + skip, n)
+    trend = fit_linear_trend(window.astype(np.float64), cumdivnorm[window])
+    return max(trend(float(final_step - 1)), float(cumdivnorm[-1]))

@@ -1,0 +1,154 @@
+"""Accurate-model search (the paper's Auto-Keras plugin, Section 4).
+
+The paper feeds an existing network to Auto-Keras, which uses Bayesian
+optimisation over network morphisms to propose architectures, and changes it
+to emit the five most accurate models instead of one.  Offline Auto-Keras is
+unavailable, so this module implements the same loop at small scale:
+
+* *morphisms* — widen a stage, deepen the network, grow a kernel, toggle a
+  residual connection (accuracy-oriented edits, the mirror image of the
+  speed-oriented transformation operations);
+* *surrogate* — an RBF-kernel regressor over the architecture feature
+  vectors predicts the training loss of unseen candidates;
+* *acquisition* — candidates are proposed in batches, ranked by surrogate
+  mean minus an exploration bonus for unexplored regions, and only the best
+  proposals are actually trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models import ArchSpec, TrainedModel, train_model
+from repro.models.arch import MAX_STAGES, StageSpec
+
+from .features import build_feature_vector
+
+__all__ = ["SearchConfig", "morph", "search_accurate_models", "RBFSurrogate"]
+
+
+@dataclass
+class SearchConfig:
+    """Budget of the accurate-model search."""
+
+    iterations: int = 4
+    proposals_per_iteration: int = 4
+    evaluations_per_iteration: int = 2
+    train_epochs: int = 8
+    keep: int = 5
+    max_channels: int = 32
+    exploration: float = 0.3
+    lr: float = 2e-3
+
+
+def morph(spec: ArchSpec, rng: np.random.Generator, max_channels: int = 32) -> ArchSpec:
+    """One random accuracy-oriented network morphism."""
+    out = spec.copy()
+    ops = ["widen", "deepen", "kernel", "residual"]
+    if out.n_stages >= MAX_STAGES:
+        ops.remove("deepen")
+    op = rng.choice(ops)
+    idx = int(rng.integers(out.n_stages))
+    stage = out.stages[idx]
+    if op == "widen":
+        stage.channels = min(max_channels, max(stage.channels + 2, int(stage.channels * 1.25)))
+    elif op == "deepen":
+        out.stages.insert(idx, StageSpec(kernel=stage.kernel, channels=stage.channels))
+    elif op == "kernel":
+        stage.kernel = 5 if stage.kernel == 3 else 3
+    else:
+        prev = out.stages[idx - 1].channels if idx > 0 else out.in_channels
+        if prev == stage.channels:
+            stage.residual = not stage.residual
+        else:
+            stage.channels = prev
+            stage.residual = True
+    out.name = f"{spec.name or 'base'}-m{op}{idx}"
+    return out
+
+
+class RBFSurrogate:
+    """Kernel regression over architecture features (Bayesian-lite)."""
+
+    def __init__(self, bandwidth: float = 1.0):
+        self.bandwidth = bandwidth
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    @staticmethod
+    def _featurize(spec: ArchSpec) -> np.ndarray:
+        # requirement components are irrelevant here; zero them out
+        return build_feature_vector(0.0, 0.0, spec)
+
+    def observe(self, spec: ArchSpec, loss: float) -> None:
+        """Record an evaluated architecture."""
+        f = self._featurize(spec)[None]
+        self._x = f if self._x is None else np.concatenate([self._x, f])
+        y = np.array([loss])
+        self._y = y if self._y is None else np.concatenate([self._y, y])
+
+    def predict(self, spec: ArchSpec) -> tuple[float, float]:
+        """(mean, distance-to-data) for a candidate; distance drives exploration."""
+        if self._x is None or self._y is None:
+            return 0.0, float("inf")
+        f = self._featurize(spec)
+        scale = np.maximum(np.abs(self._x).max(axis=0), 1.0)
+        d = np.linalg.norm((self._x - f) / scale, axis=1)
+        w = np.exp(-((d / self.bandwidth) ** 2))
+        if w.sum() < 1e-12:
+            return float(self._y.mean()), float(d.min())
+        return float((w * self._y).sum() / w.sum()), float(d.min())
+
+
+def search_accurate_models(
+    base: ArchSpec,
+    data: dict[str, np.ndarray],
+    config: SearchConfig | None = None,
+    rng=0,
+) -> list[TrainedModel]:
+    """Search for the ``config.keep`` most accurate models around ``base``.
+
+    Returns trained models sorted by ascending final training loss; the base
+    architecture itself is always evaluated and may appear in the output.
+    """
+    config = config or SearchConfig()
+    rng = np.random.default_rng(rng)
+    surrogate = RBFSurrogate()
+    evaluated: list[TrainedModel] = []
+    seen: set[str] = set()
+
+    def evaluate(spec: ArchSpec) -> None:
+        key = repr(spec.to_dict()["stages"])
+        if key in seen:
+            return
+        seen.add(key)
+        model = train_model(spec, data, epochs=config.train_epochs, lr=config.lr, rng=rng)
+        surrogate.observe(spec, model.history.final_loss)
+        evaluated.append(model)
+
+    base = base.copy()
+    base.name = base.name or "base"
+    evaluate(base)
+    frontier = [base]
+    for _ in range(config.iterations):
+        proposals = []
+        for _ in range(config.proposals_per_iteration):
+            parent = frontier[int(rng.integers(len(frontier)))]
+            proposals.append(morph(parent, rng, config.max_channels))
+        scored = []
+        for cand in proposals:
+            mean, dist = surrogate.predict(cand)
+            scored.append((mean - config.exploration * min(dist, 10.0), cand))
+        scored.sort(key=lambda s: s[0])
+        for _, cand in scored[: config.evaluations_per_iteration]:
+            evaluate(cand)
+        evaluated.sort(key=lambda m: m.history.final_loss)
+        frontier = [m.spec for m in evaluated[: max(2, config.keep // 2)]]
+
+    evaluated.sort(key=lambda m: m.history.final_loss)
+    winners = evaluated[: config.keep]
+    for i, model in enumerate(winners):
+        model.spec.name = f"auto{i + 1}"
+    return winners

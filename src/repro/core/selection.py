@@ -1,0 +1,77 @@
+"""Expected-time model selection (Section 5.3, Eq. 8).
+
+A candidate network is only worth deploying if, accounting for the risk of
+violating the quality requirement and having to re-run the simulation with
+the exact method, its expected total time
+
+    T_total = r * T_model + (1 - r) * T'
+
+stays below the user's time budget ``t`` (``r`` is the MLP-predicted success
+probability, ``T'`` the exact-solver time).  At most ``max_models``
+candidates survive, ranked by success probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models import TrainedModel
+
+from .selector_mlp import SuccessRateMLP
+
+__all__ = ["SelectedModel", "expected_total_time", "select_runtime_models"]
+
+
+@dataclass
+class SelectedModel:
+    """A runtime candidate with its offline statistics."""
+
+    model: TrainedModel
+    success_prob: float
+    model_seconds: float
+    expected_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+def expected_total_time(success_prob: float, model_seconds: float, exact_seconds: float) -> float:
+    """Eq. 8: expected time including the possible exact-method re-run."""
+    if not 0.0 <= success_prob <= 1.0:
+        raise ValueError("success probability must be in [0, 1]")
+    return success_prob * model_seconds + (1.0 - success_prob) * exact_seconds
+
+
+def select_runtime_models(
+    candidates: list[TrainedModel],
+    model_seconds: dict[str, float],
+    mlp: SuccessRateMLP,
+    q: float,
+    t: float,
+    exact_seconds: float,
+    max_models: int = 5,
+) -> list[SelectedModel]:
+    """Apply the MLP + Eq. 8 filter and keep the top ``max_models``.
+
+    Returns the survivors sorted by descending success probability.  May be
+    empty when no candidate's expected time fits the budget.
+    """
+    scored: list[SelectedModel] = []
+    for model in candidates:
+        if model.name not in model_seconds:
+            raise KeyError(f"no measured time for model {model.name!r}")
+        prob = mlp.predict(model.spec, q, t)
+        secs = model_seconds[model.name]
+        expected = expected_total_time(prob, secs, exact_seconds)
+        if expected <= t:
+            scored.append(
+                SelectedModel(
+                    model=model,
+                    success_prob=prob,
+                    model_seconds=secs,
+                    expected_seconds=expected,
+                )
+            )
+    scored.sort(key=lambda s: s.success_prob, reverse=True)
+    return scored[:max_models]

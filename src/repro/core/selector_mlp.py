@@ -1,0 +1,140 @@
+"""The offline output-quality-control MLP (Section 5, Figures 4-5).
+
+Given a feature vector of (user requirement, network architecture), the MLP
+predicts the probability that the network meets the requirement over the
+input-problem population.  Training samples come from execution records: a
+sample's label ``r_{k,q,t}`` is the fraction of model ``k``'s records that
+satisfy ``U(q, t)`` for a randomly drawn requirement.
+
+Five alternative topologies are provided (the paper's MLP1-MLP5, Figure 5)
+plus the wider Figure 4 drawing; MLP3 is the paper's final choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models import ArchSpec, TrainedModel
+from repro.nn import Adam, Dense, MSELoss, Network, ReLU, Sigmoid, Trainer, TrainHistory
+
+from .features import FEATURE_DIM, FeatureScaler, build_feature_vector
+from .records import ExecutionRecord, success_rate
+
+__all__ = [
+    "MLP_TOPOLOGIES",
+    "build_success_mlp",
+    "make_training_samples",
+    "SuccessRateMLP",
+]
+
+#: hidden-layer widths of the five MLP variants (input 48, output 1)
+MLP_TOPOLOGIES: dict[str, tuple[int, ...]] = {
+    "mlp1": (32, 16),
+    "mlp2": (32, 16, 8),
+    "mlp3": (32, 32, 16, 8),  # the paper's choice
+    "mlp4": (64, 32, 32, 16, 8),
+    "mlp5": (64, 64, 32, 32, 16, 8),
+    "fig4": (32, 32, 16, 16, 8, 8),  # as drawn in Figure 4
+}
+
+
+def build_success_mlp(topology: str = "mlp3", rng=None) -> Network:
+    """Build one of the named MLP topologies (ReLU hidden, sigmoid output)."""
+    if topology not in MLP_TOPOLOGIES:
+        raise ValueError(f"unknown topology {topology!r}; options: {sorted(MLP_TOPOLOGIES)}")
+    rng = np.random.default_rng(rng)
+    layers: list = []
+    prev = FEATURE_DIM
+    for width in MLP_TOPOLOGIES[topology]:
+        layers.append(Dense(prev, width, rng=rng))
+        layers.append(ReLU())
+        prev = width
+    layers.append(Dense(prev, 1, rng=rng))
+    layers.append(Sigmoid())
+    return Network(layers)
+
+
+def make_training_samples(
+    records: list[ExecutionRecord],
+    models: dict[str, ArchSpec],
+    n_samples_per_model: int = 64,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate (features, labels) by sampling user requirements.
+
+    Requirements (q, t) mix two draws: uniform over the records' span (with
+    margins) for global coverage, and jittered resamples of observed values
+    — the label ``r_{k,q,t}`` is a step-like function of (q, t) that only
+    varies near the records' own quality/time values, so concentrating
+    samples there is what lets the MLP resolve the decision boundary.
+    """
+    if not records:
+        raise ValueError("no records")
+    rng = np.random.default_rng(rng)
+    by_model: dict[str, list[ExecutionRecord]] = {}
+    for r in records:
+        by_model.setdefault(r.model_name, []).append(r)
+
+    q_vals = np.array([r.quality_loss for r in records])
+    t_vals = np.array([r.execution_seconds for r in records])
+    q_lo, q_hi = q_vals.min() * 0.5, q_vals.max() * 1.5
+    t_lo, t_hi = t_vals.min() * 0.5, t_vals.max() * 1.5
+
+    def draw(values: np.ndarray, lo: float, hi: float) -> float:
+        if rng.random() < 0.5:
+            return float(rng.uniform(lo, hi))
+        return float(values[rng.integers(len(values))] * rng.uniform(0.75, 1.3))
+
+    feats, labels = [], []
+    for name, recs in by_model.items():
+        if name not in models:
+            raise KeyError(f"no architecture registered for model {name!r}")
+        arch = models[name]
+        for _ in range(n_samples_per_model):
+            q = draw(q_vals, q_lo, q_hi)
+            t = draw(t_vals, t_lo, t_hi)
+            feats.append(build_feature_vector(q, t, arch))
+            labels.append(success_rate(recs, q, t))
+    return np.stack(feats), np.array(labels)[:, None]
+
+
+@dataclass
+class SuccessRateMLP:
+    """Trained success-rate predictor with its feature scaler."""
+
+    network: Network
+    scaler: FeatureScaler
+    history: TrainHistory | None = None
+    topology: str = "mlp3"
+
+    @classmethod
+    def fit(
+        cls,
+        records: list[ExecutionRecord],
+        models: dict[str, ArchSpec],
+        topology: str = "mlp3",
+        n_samples_per_model: int = 64,
+        epochs: int = 150,
+        lr: float = 3e-3,
+        rng=0,
+    ) -> "SuccessRateMLP":
+        """Generate samples from records and train the MLP."""
+        rng = np.random.default_rng(rng)
+        feats, labels = make_training_samples(records, models, n_samples_per_model, rng)
+        scaler = FeatureScaler().fit(feats)
+        x = scaler.transform(feats)
+        net = build_success_mlp(topology, rng=rng)
+        trainer = Trainer(net, MSELoss(), Adam(net.parameters(), lr=lr), rng=rng)
+        history = trainer.fit({"x": x, "y": labels}, epochs=epochs, batch_size=32)
+        return cls(network=net, scaler=scaler, history=history, topology=topology)
+
+    def predict(self, arch: ArchSpec, q: float, t: float) -> float:
+        """Predicted probability that ``arch`` meets U(q, t)."""
+        f = build_feature_vector(q, t, arch)[None]
+        return float(self.network.forward(self.scaler.transform(f))[0, 0])
+
+    def predict_many(self, models: list[TrainedModel], q: float, t: float) -> dict[str, float]:
+        """Predictions for a list of trained models, by name."""
+        return {m.name: self.predict(m.spec, q, t) for m in models}

@@ -1,0 +1,156 @@
+"""The four model-transformation operations (Section 4).
+
+Each operation maps a trained model to a new architecture, inheriting the
+parent's weights wherever layer shapes still match (network morphism), so
+the transformed model needs only a brief fine-tune instead of training from
+scratch — the property that makes constructing 128 models tractable.
+
+* ``shallow(G, L)``   — delete stage ``L``.
+* ``narrow(G, L, r)`` — remove ``r`` randomly-chosen channels from stage ``L``
+  (the paper uses ``r = |L| / 10``).
+* ``pooling(G, L, m)`` — downsample stage ``L`` with a 2x2 max-pooling matrix
+  (discarding 75% of its activations) and unpool to restore the grid size.
+* ``dropout(G, L, p)`` — drop stage ``L`` activations with probability ``p``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models import ArchSpec, TrainedModel
+from repro.nn import Conv2d, Network
+
+__all__ = [
+    "shallow",
+    "narrow",
+    "pooling",
+    "dropout",
+    "inherit_matching_weights",
+]
+
+
+def inherit_matching_weights(
+    parent_spec: ArchSpec,
+    parent_net: Network,
+    child_spec: ArchSpec,
+    child_net: Network,
+    stage_map: dict[int, int],
+) -> int:
+    """Copy convolution weights from parent to child where shapes match.
+
+    ``stage_map`` maps child stage index -> parent stage index; the final
+    1x1 convolution maps implicitly (index ``n_stages``).  Returns the
+    number of convolutions copied.
+    """
+    parent_convs = parent_spec.stage_convs(parent_net)
+    child_convs = child_spec.stage_convs(child_net)
+    full_map = dict(stage_map)
+    full_map[child_spec.n_stages] = parent_spec.n_stages  # final 1x1
+    copied = 0
+    for child_idx, parent_idx in full_map.items():
+        src = parent_convs[parent_idx]
+        dst = child_convs[child_idx]
+        if src.weight.value.shape == dst.weight.value.shape:
+            dst.weight.value[...] = src.weight.value
+            dst.bias.value[...] = src.bias.value
+            copied += 1
+    return copied
+
+
+def _child(model: TrainedModel, spec: ArchSpec, stage_map: dict[int, int], rng) -> TrainedModel:
+    net = spec.build(rng=rng)
+    inherit_matching_weights(model.spec, model.network, spec, net, stage_map)
+    return TrainedModel(spec=spec, network=net, metadata={"parent": model.name})
+
+
+def shallow(model: TrainedModel, stage: int, rng=None) -> TrainedModel:
+    """Delete one stage of the network (operation 1)."""
+    n = model.spec.n_stages
+    if not 0 <= stage < n:
+        raise ValueError(f"stage {stage} out of range 0..{n - 1}")
+    if n <= 1:
+        raise ValueError("cannot delete the only stage")
+    spec = model.spec.copy()
+    del spec.stages[stage]
+    spec.name = f"{model.name}-shallow{stage}"
+    # child stages before the cut map 1:1; later ones shift by one
+    stage_map = {i: (i if i < stage else i + 1) for i in range(spec.n_stages)}
+    return _child(model, spec, stage_map, rng)
+
+
+def narrow(model: TrainedModel, stage: int, r: int | None = None, rng=None) -> TrainedModel:
+    """Remove ``r`` random channels from one stage (operation 2).
+
+    Inherits the parent's weights exactly by slicing: the narrowed stage
+    keeps the rows of the surviving channels, and the following convolution
+    keeps the matching input slices.
+    """
+    rng = np.random.default_rng(rng)
+    n = model.spec.n_stages
+    if not 0 <= stage < n:
+        raise ValueError(f"stage {stage} out of range 0..{n - 1}")
+    channels = model.spec.stages[stage].channels
+    if r is None:
+        r = max(1, channels // 10)  # the paper's r = |L| / 10
+    if not 1 <= r < channels:
+        raise ValueError(f"r must be in 1..{channels - 1}, got {r}")
+    keep = np.sort(rng.choice(channels, size=channels - r, replace=False))
+
+    spec = model.spec.copy()
+    spec.stages[stage].channels = channels - r
+    if spec.stages[stage].residual:
+        # residual connections require matching channel counts; narrowing
+        # breaks that, so the connection is dropped
+        spec.stages[stage].residual = False
+    spec.name = f"{model.name}-narrow{stage}x{r}"
+
+    net = spec.build(rng=rng)
+    stage_map = {i: i for i in range(n) if i != stage}
+    inherit_matching_weights(model.spec, model.network, spec, net, stage_map)
+
+    parent_convs = model.spec.stage_convs(model.network)
+    child_convs = spec.stage_convs(net)
+    src, dst = parent_convs[stage], child_convs[stage]
+    if src.weight.value.shape[1] == dst.weight.value.shape[1]:
+        dst.weight.value[...] = src.weight.value[keep]
+        dst.bias.value[...] = src.bias.value[keep]
+    nxt_src, nxt_dst = parent_convs[stage + 1], child_convs[stage + 1]
+    if nxt_src.weight.value.shape[0] == nxt_dst.weight.value.shape[0]:
+        nxt_dst.weight.value[...] = nxt_src.weight.value[:, keep]
+        nxt_dst.bias.value[...] = nxt_src.bias.value
+    return TrainedModel(spec=spec, network=net, metadata={"parent": model.name, "kept": keep})
+
+
+def pooling(model: TrainedModel, stage: int, factor: int = 2, rng=None) -> TrainedModel:
+    """Downsample one stage with max pooling (operation 3).
+
+    A 2x2 pooling matrix discards 75% of the stage's activations; the
+    convolution weights are shape-compatible and inherited unchanged.
+    """
+    n = model.spec.n_stages
+    if not 0 <= stage < n:
+        raise ValueError(f"stage {stage} out of range 0..{n - 1}")
+    if factor not in (2, 4):
+        raise ValueError("pooling factor must be 2 or 4")
+    if model.spec.stages[stage].pool > 1:
+        raise ValueError(f"stage {stage} is already pooled")
+    spec = model.spec.copy()
+    spec.stages[stage].pool = factor
+    spec.stages[stage].unpool = factor
+    spec.name = f"{model.name}-pool{stage}x{factor}"
+    stage_map = {i: i for i in range(n)}
+    return _child(model, spec, stage_map, rng)
+
+
+def dropout(model: TrainedModel, stage: int, p: float = 0.1, rng=None) -> TrainedModel:
+    """Attach dropout to one stage (operation 4)."""
+    n = model.spec.n_stages
+    if not 0 <= stage < n:
+        raise ValueError(f"stage {stage} out of range 0..{n - 1}")
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    spec = model.spec.copy()
+    spec.stages[stage].dropout = p
+    spec.name = f"{model.name}-drop{stage}p{p:g}"
+    stage_map = {i: i for i in range(n)}
+    return _child(model, spec, stage_map, rng)

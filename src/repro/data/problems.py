@@ -1,0 +1,58 @@
+"""Input-problem datasets.
+
+The paper evaluates on 20,480 *input problems*: randomised smoke-plume
+initial conditions (turbulent velocity + random occupancy objects).  An
+:class:`InputProblem` is a lightweight, reproducible handle (grid size +
+seed) that materialises the actual grid on demand, so datasets of any size
+are cheap to enumerate and shard.
+
+Training and evaluation sets use disjoint seed ranges, reproducing the
+paper's "no overlapping between the training and test datasets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fluid import MACGrid2D, SmokeSource, make_smoke_plume
+
+__all__ = ["InputProblem", "generate_problems", "TRAIN_SEED_BASE", "EVAL_SEED_BASE"]
+
+#: seed offsets keeping the two datasets disjoint
+TRAIN_SEED_BASE = 1_000_000
+EVAL_SEED_BASE = 2_000_000
+
+
+@dataclass(frozen=True)
+class InputProblem:
+    """A reproducible smoke-plume input problem."""
+
+    grid_size: int
+    seed: int
+    with_obstacles: bool = True
+
+    def materialize(self) -> tuple[MACGrid2D, SmokeSource]:
+        """Build the initial grid and smoke source for this problem."""
+        return make_smoke_plume(
+            self.grid_size, self.grid_size, rng=self.seed, with_obstacles=self.with_obstacles
+        )
+
+
+def generate_problems(
+    n: int,
+    grid_size: int,
+    split: str = "eval",
+    with_obstacles: bool = True,
+) -> list[InputProblem]:
+    """Enumerate ``n`` problems of one grid size from a dataset split.
+
+    ``split`` is ``"train"`` or ``"eval"``; the two use disjoint seeds.
+    """
+    if split == "train":
+        base = TRAIN_SEED_BASE
+    elif split == "eval":
+        base = EVAL_SEED_BASE
+    else:
+        raise ValueError(f"unknown split {split!r}")
+    base += grid_size * 10_000  # grid sizes also get disjoint streams
+    return [InputProblem(grid_size, base + i, with_obstacles) for i in range(n)]

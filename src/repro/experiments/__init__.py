@@ -1,0 +1,78 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from .common import Artifacts, ExperimentScale, build_artifacts, format_table, get_scale
+from .runners import (
+    RunStat,
+    density_history,
+    evaluate_adaptive,
+    evaluate_solver,
+    no_mlp_runtime,
+)
+from .table1 import PAPER_TABLE1, Table1Result, Table1Row, run_table1
+from .fig1 import Fig1Result, run_fig1
+from .fig3 import Fig3Point, Fig3Result, run_fig3
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import Fig6Result, run_fig6
+from .fig8 import Fig8Result, Fig8Row, run_fig8
+from .fig9_table2 import BoxStats, Fig9Table2Result, Fig9Table2Row, run_fig9_table2
+from .fig10_11_table3 import (
+    CandidateRow,
+    Fig10_11Result,
+    Table3Result,
+    run_fig10_11_table3,
+)
+from .fig12 import Fig12Result, Fig12Row, run_fig12
+from .fig13 import PAPER_INTERVALS, Fig13Result, run_fig13
+from .table4 import Table4Result, Table4Row, run_table4
+from .sec4_sensitivity import SensitivityResult, run_sec4_sensitivity
+from .report import REPORT_SECTIONS, generate_report
+
+__all__ = [
+    "Artifacts",
+    "ExperimentScale",
+    "build_artifacts",
+    "format_table",
+    "get_scale",
+    "RunStat",
+    "density_history",
+    "evaluate_adaptive",
+    "evaluate_solver",
+    "no_mlp_runtime",
+    "PAPER_TABLE1",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Fig1Result",
+    "run_fig1",
+    "Fig3Point",
+    "Fig3Result",
+    "run_fig3",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "run_fig6",
+    "Fig8Result",
+    "Fig8Row",
+    "run_fig8",
+    "BoxStats",
+    "Fig9Table2Result",
+    "Fig9Table2Row",
+    "run_fig9_table2",
+    "CandidateRow",
+    "Fig10_11Result",
+    "Table3Result",
+    "run_fig10_11_table3",
+    "Fig12Result",
+    "Fig12Row",
+    "run_fig12",
+    "PAPER_INTERVALS",
+    "Fig13Result",
+    "run_fig13",
+    "Table4Result",
+    "Table4Row",
+    "run_table4",
+    "SensitivityResult",
+    "run_sec4_sensitivity",
+    "REPORT_SECTIONS",
+    "generate_report",
+]

@@ -1,0 +1,119 @@
+"""Figures 10-11 and Table 3: the runtime system under the microscope.
+
+* Figure 10 — speedup of each Pareto candidate used *alone* for the whole
+  simulation, next to Smart-fluidnet's adaptive speedup (which lands near
+  the candidates' median: the price of adaptivity).
+* Figure 11 — quality-loss distribution of each candidate alone vs Smart;
+  Smart's variance is smaller than any fixed model's.
+* Table 3 — for the MLP-selected runtime models: the MLP success
+  probability and the share of adaptive solver time spent in each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ReferenceCache
+from repro.data import generate_problems
+
+from .common import Artifacts, build_artifacts, format_table
+from .fig9_table2 import BoxStats
+from .runners import evaluate_adaptive, evaluate_solver
+
+__all__ = ["CandidateRow", "Fig10_11Result", "Table3Result", "run_fig10_11_table3"]
+
+
+@dataclass
+class CandidateRow:
+    model: str
+    speedup: float
+    qloss: BoxStats
+    success: float
+
+
+@dataclass
+class Fig10_11Result:
+    candidates: list[CandidateRow]
+    smart: CandidateRow
+    requirement_q: float
+
+    def format(self) -> str:
+        rows = [
+            [c.model, c.speedup, c.qloss.median, c.qloss.iqr, f"{100 * c.success:.1f}%"]
+            for c in self.candidates + [self.smart]
+        ]
+        return format_table(
+            ["Model", "Speedup", "Qloss median", "Qloss IQR", "Success"],
+            rows,
+            title="Figures 10-11: candidates alone vs Smart-fluidnet",
+        )
+
+
+@dataclass
+class Table3Result:
+    probabilities: dict[str, float]
+    time_share: dict[str, float]
+
+    def format(self) -> str:
+        rows = [
+            [name, f"{100 * self.probabilities.get(name, 0):.2f}%", f"{100 * share:.2f}%"]
+            for name, share in sorted(self.time_share.items(), key=lambda kv: -kv[1])
+        ]
+        return format_table(
+            ["Model", "Prob. (MLP)", "Time share"],
+            rows,
+            title="Table 3: runtime-model usage",
+        )
+
+
+def run_fig10_11_table3(
+    artifacts: Artifacts | None = None,
+) -> tuple[Fig10_11Result, Table3Result]:
+    """Regenerate Figures 10-11 and Table 3 at the configured scale."""
+    art = artifacts or build_artifacts()
+    scale = art.scale
+    fw = art.framework
+    q_req = fw.requirement.q
+    problems = generate_problems(scale.n_problems, scale.base_grid, split="eval")
+    reference = ReferenceCache(scale.n_steps)
+    pcg_secs = float(np.mean([reference.reference(p).solve_seconds for p in problems]))
+
+    candidates = []
+    for model in fw.candidates:
+        stats = evaluate_solver(
+            lambda m=model: m.solver(passes=fw.config.solver_passes), problems, reference
+        )
+        losses = np.array([s.quality_loss for s in stats])
+        secs = float(np.mean([s.solve_seconds for s in stats]))
+        candidates.append(
+            CandidateRow(
+                model=model.name,
+                speedup=pcg_secs / max(secs, 1e-12),
+                qloss=BoxStats.of(losses),
+                success=float((losses <= q_req).mean()),
+            )
+        )
+
+    smart_stats = evaluate_adaptive(fw, problems, reference)
+    s_losses = np.array([s.quality_loss for s in smart_stats])
+    s_secs = float(np.mean([s.solve_seconds for s in smart_stats]))
+    smart = CandidateRow(
+        model="smart-fluidnet",
+        speedup=pcg_secs / max(s_secs, 1e-12),
+        qloss=BoxStats.of(s_losses),
+        success=float((s_losses <= q_req).mean()),
+    )
+
+    # Table 3: aggregate solver-time share over the adaptive runs
+    share_totals: dict[str, float] = {}
+    for s in smart_stats:
+        for name, secs in s.stats.solve_seconds_per_model.items():
+            share_totals[name] = share_totals.get(name, 0.0) + secs
+    total = sum(share_totals.values()) or 1.0
+    table3 = Table3Result(
+        probabilities={sel.name: sel.success_prob for sel in fw.runtime_models},
+        time_share={k: v / total for k, v in share_totals.items()},
+    )
+    return Fig10_11Result(candidates=candidates, smart=smart, requirement_q=q_req), table3

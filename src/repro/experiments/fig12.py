@@ -1,0 +1,88 @@
+"""Figure 12: success rate with vs without the MLP controller.
+
+Without the MLP, the runtime has every Pareto candidate available, starts
+from the fastest and only ever upgrades (sticking once satisfied); with the
+MLP, it runs on the filtered five models starting from the highest-scored
+one.  The paper reports higher success rates with the MLP at every grid
+size, at slightly lower raw speed (normalised performance 79-97%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ReferenceCache
+from repro.data import generate_problems
+
+from .common import Artifacts, build_artifacts, format_table
+from .runners import evaluate_adaptive, no_mlp_runtime
+
+__all__ = ["Fig12Row", "Fig12Result", "run_fig12"]
+
+
+@dataclass
+class Fig12Row:
+    grid_size: int
+    success_with_mlp: float
+    success_without_mlp: float
+    perf_with_over_without: float  # normalised performance (paper: 0.79-0.97)
+
+
+@dataclass
+class Fig12Result:
+    rows: list[Fig12Row]
+    requirement_q: float
+
+    def format(self) -> str:
+        return format_table(
+            ["Grid", "With MLP", "Without MLP", "Perf (with/without)"],
+            [
+                [
+                    f"{r.grid_size}x{r.grid_size}",
+                    f"{100 * r.success_with_mlp:.2f}%",
+                    f"{100 * r.success_without_mlp:.2f}%",
+                    f"{100 * r.perf_with_over_without:.0f}%",
+                ]
+                for r in self.rows
+            ],
+            title=f"Figure 12: MLP effectiveness (q <= {self.requirement_q:.4f})",
+        )
+
+
+def run_fig12(artifacts: Artifacts | None = None) -> Fig12Result:
+    """Regenerate Figure 12 at the configured scale."""
+    art = artifacts or build_artifacts()
+    scale = art.scale
+    fw = art.framework
+    q_req = fw.requirement.q
+    ablation_models, ablation_knn = no_mlp_runtime(fw)
+
+    rows = []
+    for grid in scale.grid_sizes:
+        problems = generate_problems(scale.n_problems, grid, split="eval")
+        reference = ReferenceCache(scale.n_steps)
+        with_mlp = evaluate_adaptive(fw, problems, reference)
+        without = evaluate_adaptive(
+            fw,
+            problems,
+            reference,
+            use_mlp_start=False,
+            upgrade_only=True,
+            models_override=ablation_models,
+            knn_override=ablation_knn,
+        )
+        w_loss = np.array([s.quality_loss for s in with_mlp])
+        o_loss = np.array([s.quality_loss for s in without])
+        w_secs = float(np.mean([s.solve_seconds for s in with_mlp]))
+        o_secs = float(np.mean([s.solve_seconds for s in without]))
+        rows.append(
+            Fig12Row(
+                grid_size=grid,
+                success_with_mlp=float((w_loss <= q_req).mean()),
+                success_without_mlp=float((o_loss <= q_req).mean()),
+                perf_with_over_without=o_secs / max(w_secs, 1e-12),
+            )
+        )
+    return Fig12Result(rows=rows, requirement_q=q_req)

@@ -1,0 +1,65 @@
+"""Figure 13: sensitivity of the success rate to the check interval.
+
+The paper sweeps the runtime's check interval and finds that success drops
+as the interval grows (switching reacts too slowly), with 5 the best
+setting; the minimum interval is bounded below by the two skipped steps
+plus the three trend-fit points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ReferenceCache
+from repro.data import generate_problems
+
+from .common import Artifacts, build_artifacts, format_table
+from .runners import evaluate_adaptive
+
+__all__ = ["Fig13Result", "run_fig13"]
+
+PAPER_INTERVALS = (5, 8, 10, 12, 14, 16, 20)
+
+
+@dataclass
+class Fig13Result:
+    intervals: list[int]
+    success_rates: list[float]
+    requirement_q: float
+
+    def format(self) -> str:
+        return format_table(
+            ["Check interval", "Success rate"],
+            [[i, f"{100 * s:.2f}%"] for i, s in zip(self.intervals, self.success_rates)],
+            title=f"Figure 13: check-interval sensitivity (q <= {self.requirement_q:.4f})",
+        )
+
+    def best_interval(self) -> int:
+        return self.intervals[int(np.argmax(self.success_rates))]
+
+
+def run_fig13(
+    artifacts: Artifacts | None = None,
+    intervals: tuple[int, ...] | None = None,
+) -> Fig13Result:
+    """Regenerate Figure 13 at the configured scale."""
+    art = artifacts or build_artifacts()
+    scale = art.scale
+    fw = art.framework
+    q_req = fw.requirement.q
+    # intervals larger than the run leave no decision point at all: with the
+    # configured skip there must be at least one check before the last step
+    skip = fw.config.skip_first
+    chosen = [i for i in (intervals or PAPER_INTERVALS) if skip + i < scale.n_steps]
+    if not chosen:
+        chosen = [5]
+    problems = generate_problems(scale.n_problems, scale.base_grid, split="eval")
+    reference = ReferenceCache(scale.n_steps)
+    rates = []
+    for interval in chosen:
+        stats = evaluate_adaptive(fw, problems, reference, check_interval=interval)
+        losses = np.array([s.quality_loss for s in stats])
+        rates.append(float((losses <= q_req).mean()))
+    return Fig13Result(intervals=chosen, success_rates=rates, requirement_q=q_req)

@@ -1,0 +1,68 @@
+"""Figure 3: scatter of quality loss vs time cost over the model family.
+
+Every constructed model contributes one (time, quality-loss) point from the
+construction-time execution records; the Pareto-selected candidates are the
+red points of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import Artifacts, build_artifacts, format_table
+
+__all__ = ["Fig3Point", "Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Point:
+    model: str
+    time_seconds: float
+    quality_loss: float
+    selected: bool
+
+
+@dataclass
+class Fig3Result:
+    points: list[Fig3Point]
+
+    @property
+    def n_models(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_selected(self) -> int:
+        return sum(p.selected for p in self.points)
+
+    def format(self) -> str:
+        rows = [
+            [p.model, p.time_seconds, p.quality_loss, "*" if p.selected else ""]
+            for p in sorted(self.points, key=lambda p: p.time_seconds)
+        ]
+        return format_table(
+            ["Model", "Time (s)", "Quality loss", "Pareto"],
+            rows,
+            title=f"Figure 3: model family scatter ({self.n_selected}/{self.n_models} selected)",
+        )
+
+
+def run_fig3(artifacts: Artifacts | None = None) -> Fig3Result:
+    """Regenerate Figure 3 from the framework's construction records."""
+    art = artifacts or build_artifacts()
+    fw = art.framework
+    by_model: dict[str, list] = {}
+    for r in fw.records:
+        by_model.setdefault(r.model_name, []).append(r)
+    selected = {m.name for m in fw.candidates}
+    points = [
+        Fig3Point(
+            model=name,
+            time_seconds=float(np.mean([r.execution_seconds for r in recs])),
+            quality_loss=float(np.mean([r.quality_loss for r in recs])),
+            selected=name in selected,
+        )
+        for name, recs in by_model.items()
+    ]
+    return Fig3Result(points=points)

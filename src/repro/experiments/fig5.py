@@ -1,0 +1,60 @@
+"""Figure 5: training-loss curves of the five MLP topologies.
+
+The paper trains MLP1-MLP5 on the execution-record samples and picks MLP3
+for its balance of convergence speed, final loss and model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import MLP_TOPOLOGIES, SuccessRateMLP
+
+from .common import Artifacts, build_artifacts, format_table
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+
+@dataclass
+class Fig5Result:
+    curves: dict[str, list[float]]  # per-epoch training loss per topology
+    final: dict[str, float]
+    param_counts: dict[str, int]
+
+    def format(self) -> str:
+        rows = [
+            [name, self.param_counts[name], self.curves[name][0], self.final[name]]
+            for name in sorted(self.curves)
+        ]
+        return format_table(
+            ["MLP", "Params", "First-epoch loss", "Final loss"],
+            rows,
+            title="Figure 5: MLP topology training losses",
+        )
+
+
+def run_fig5(
+    artifacts: Artifacts | None = None,
+    epochs: int = 120,
+    topologies: tuple[str, ...] = ("mlp1", "mlp2", "mlp3", "mlp4", "mlp5"),
+) -> Fig5Result:
+    """Train each MLP variant on the same samples and record loss curves."""
+    art = artifacts or build_artifacts()
+    fw = art.framework
+    cand_names = {m.name for m in fw.candidates}
+    records = [r for r in fw.records if r.model_name in cand_names]
+    archs = {m.name: m.spec for m in fw.candidates}
+
+    curves: dict[str, list[float]] = {}
+    final: dict[str, float] = {}
+    params: dict[str, int] = {}
+    for name in topologies:
+        if name not in MLP_TOPOLOGIES:
+            raise ValueError(f"unknown topology {name!r}")
+        mlp = SuccessRateMLP.fit(records, archs, topology=name, epochs=epochs, rng=7)
+        curves[name] = list(mlp.history.train_loss)
+        final[name] = mlp.history.final_loss
+        params[name] = mlp.network.param_count()
+    return Fig5Result(curves=curves, final=final, param_counts=params)

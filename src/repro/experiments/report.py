@@ -1,0 +1,75 @@
+"""Full evaluation report: run every experiment and emit one document.
+
+Used by ``python -m repro experiment ...`` for single tables and by
+:func:`generate_report` / the benchmark suite for the complete set.  The
+report interleaves each regenerated table with the paper's reference
+numbers, mirroring EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .common import Artifacts, build_artifacts
+
+__all__ = ["generate_report", "REPORT_SECTIONS"]
+
+#: (section title, experiment runner name, paper reference line)
+REPORT_SECTIONS: list[tuple[str, str, str]] = [
+    ("Table 1 — solver comparison", "run_table1",
+     "paper: PCG 2.34e8 ms; Tompson 7.19e4 ms / 0.013; Yang 3.20e4 ms / 0.049"),
+    ("Figure 1 — quality-loss distribution", "run_fig1",
+     "paper: 65.42% of inputs violate q = 0.01"),
+    ("Figure 3 — family scatter + Pareto front", "run_fig3",
+     "paper: 133 models, 14 selected"),
+    ("Figure 5 — MLP topologies", "run_fig5",
+     "paper: MLP3 chosen for accuracy/size balance"),
+    ("Figure 6 — CumDivNorm vs quality", "run_fig6",
+     "paper: rp = 0.61, rs = 0.79"),
+    ("Figure 8 — speedup by grid size", "run_fig8",
+     "paper: Smart 590x over PCG, 1.46x over Tompson"),
+    ("Figure 9 / Table 2 — quality + success by grid size", "run_fig9_table2",
+     "paper: Smart success up to 91.05% vs Tompson 46.38% at 1024^2"),
+    ("Figures 10-11 / Table 3 — runtime analysis", "run_fig10_11_table3",
+     "paper: candidates 141-541x; top model 50.56% of time"),
+    ("Figure 12 — MLP effectiveness", "run_fig12",
+     "paper: 88.86% mean success with MLP, higher everywhere"),
+    ("Figure 13 — check interval", "run_fig13",
+     "paper: best at interval 5"),
+    ("Table 4 — resource usage", "run_table4",
+     "paper @512^2: PCG 1250M/332MB, Tompson 243.79M/299MB, Smart 110.97M/1069MB"),
+    ("Section 4 — sensitivity studies", "run_sec4_sensitivity",
+     "paper: 1 pruned layer max; 10% pooling; 10% dropout; 15-20 dropout models"),
+]
+
+
+def generate_report(
+    artifacts: Artifacts | None = None,
+    sections: list[str] | None = None,
+    output: str | Path | None = None,
+) -> str:
+    """Run the selected experiments and return the combined report text."""
+    import repro.experiments as experiments
+
+    art = artifacts or build_artifacts()
+    parts = [
+        "Smart-fluidnet evaluation report",
+        f"scale = {art.scale.name}, grids = {art.scale.grid_sizes}, "
+        f"problems = {art.scale.n_problems}, steps = {art.scale.n_steps}",
+        f"requirement: qloss <= {art.requirement.q:.4f}, t <= {art.requirement.t:.3f}s",
+        "=" * 72,
+    ]
+    for title, runner_name, paper in REPORT_SECTIONS:
+        if sections is not None and runner_name not in sections:
+            continue
+        runner = getattr(experiments, runner_name)
+        result = runner(art)
+        parts.append(f"\n## {title}\n({paper})\n")
+        if isinstance(result, tuple):
+            parts.extend(part.format() for part in result)
+        else:
+            parts.append(result.format())
+    text = "\n".join(parts)
+    if output is not None:
+        Path(output).write_text(text + "\n")
+    return text

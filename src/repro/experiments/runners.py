@@ -1,0 +1,146 @@
+"""Run helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import (
+    QlossKNNPredictor,
+    ReferenceCache,
+    SelectedModel,
+    SmartFluidnet,
+    collect_execution_records,
+    quality_loss,
+    run_problem,
+)
+from repro.data import InputProblem, generate_problems
+from repro.fluid import FluidSimulator, PCGSolver, SimulationConfig
+
+__all__ = [
+    "RunStat",
+    "evaluate_solver",
+    "evaluate_adaptive",
+    "density_history",
+    "no_mlp_runtime",
+]
+
+
+@dataclass
+class RunStat:
+    """Per-problem outcome of one method."""
+
+    problem_seed: int
+    quality_loss: float
+    solve_seconds: float
+    cumdivnorm_final: float
+    restarted: bool = False
+    stats: object = None
+
+
+def evaluate_solver(
+    solver_factory,
+    problems: list[InputProblem],
+    reference: ReferenceCache,
+) -> list[RunStat]:
+    """Run a (re-created per problem) solver over problems vs the reference.
+
+    ``solver_factory`` is a zero-argument callable returning a fresh solver;
+    per-problem re-creation keeps cached preconditioners from leaking
+    between differently-shaped problems.
+    """
+    out = []
+    for problem in problems:
+        ref = reference.reference(problem)
+        res = run_problem(solver_factory(), problem, reference.n_steps, reference.config)
+        out.append(
+            RunStat(
+                problem_seed=problem.seed,
+                quality_loss=quality_loss(ref.density, res.density),
+                solve_seconds=res.solve_seconds,
+                cumdivnorm_final=float(res.cumdivnorm_history[-1]),
+            )
+        )
+    return out
+
+
+def evaluate_adaptive(
+    framework: SmartFluidnet,
+    problems: list[InputProblem],
+    reference: ReferenceCache,
+    **run_kwargs,
+) -> list[RunStat]:
+    """Run Smart-fluidnet over problems vs the reference."""
+    out = []
+    for problem in problems:
+        ref = reference.reference(problem)
+        run = framework.run(problem, reference.n_steps, **run_kwargs)
+        out.append(
+            RunStat(
+                problem_seed=problem.seed,
+                quality_loss=quality_loss(ref.density, run.result.density),
+                solve_seconds=run.solve_seconds,
+                cumdivnorm_final=float(run.result.cumdivnorm_history[-1]),
+                restarted=run.restarted,
+                stats=run.stats,
+            )
+        )
+    return out
+
+
+def density_history(solver, problem: InputProblem, n_steps: int, config=None):
+    """Run one problem, capturing the density field after every step."""
+    grid, source = problem.materialize()
+    histories = []
+    sim = FluidSimulator(grid, solver, source, config or SimulationConfig())
+    for _ in range(n_steps):
+        sim.step()
+        histories.append(grid.density.copy())
+    return histories, sim
+
+
+def no_mlp_runtime(
+    framework: SmartFluidnet, small_problems: list[InputProblem] | None = None
+) -> tuple[list[SelectedModel], QlossKNNPredictor]:
+    """The Figure 12 ablation: all Pareto candidates, no MLP filtering.
+
+    Builds SelectedModel wrappers (probability 0: unknown) for every Pareto
+    candidate and KNN databases for the ones the MLP-filtered runtime does
+    not already cover.
+    """
+    cfg = framework.config
+    by_model: dict[str, list[float]] = {}
+    by_time: dict[str, list[float]] = {}
+    for r in framework.records:
+        by_model.setdefault(r.model_name, []).append(r.quality_loss)
+        by_time.setdefault(r.model_name, []).append(r.execution_seconds)
+    selected = [
+        SelectedModel(
+            model=m,
+            success_prob=0.0,
+            model_seconds=float(np.mean(by_time[m.name])),
+            expected_seconds=float(np.mean(by_time[m.name])),
+        )
+        for m in framework.candidates
+    ]
+    knn = QlossKNNPredictor(k=4)
+    for name in framework.knn.models():
+        # shared databases: copy the existing trees' contents
+        pairs = framework.knn._trees[name].items()
+        knn.add_database(name, pairs)
+    missing = [s for s in selected if s.name not in set(knn.models())]
+    if missing:
+        small = small_problems or generate_problems(
+            cfg.n_small_problems, cfg.small_grid_size, split="train"
+        )
+        ref = ReferenceCache(cfg.eval_steps, cfg.simulation)
+        records = collect_execution_records(
+            [s.model for s in missing], small, ref, cfg.solver_passes
+        )
+        per_model: dict[str, list[tuple[float, float]]] = {}
+        for r in records:
+            per_model.setdefault(r.model_name, []).append((r.cumdivnorm_final, r.quality_loss))
+        for name, pairs in per_model.items():
+            knn.add_database(name, pairs)
+    return selected, knn

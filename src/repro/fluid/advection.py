@@ -1,0 +1,81 @@
+"""Semi-Lagrangian advection on the MAC grid.
+
+Implements line 4 of the paper's Algorithm 1: ``u_A = advect(u_n, dt, q)``.
+Each sample point is traced backwards through the velocity field with a
+second-order Runge-Kutta step and the advected quantity is bilinearly
+interpolated at the departure point.  An optional MacCormack (BFECC-style)
+corrector reduces the scheme's numerical diffusion; it is the method
+mantaflow labels ``advectSemiLagrange(order=2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .grid import MACGrid2D
+
+__all__ = ["advect_scalar", "advect_velocity", "maccormack_scalar"]
+
+
+def _backtrace(
+    grid: MACGrid2D, x: np.ndarray, y: np.ndarray, dt: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """RK2 backtrace of world points through the current velocity field."""
+    u1, v1 = grid.velocity_at(x, y)
+    xm = x - 0.5 * dt * u1
+    ym = y - 0.5 * dt * v1
+    u2, v2 = grid.velocity_at(xm, ym)
+    bx = x - dt * u2
+    by = y - dt * v2
+    # keep departure points inside the domain
+    w, h = grid.nx * grid.dx, grid.ny * grid.dx
+    return np.clip(bx, 0.0, w), np.clip(by, 0.0, h)
+
+
+def advect_scalar(grid: MACGrid2D, f: np.ndarray, dt: float) -> np.ndarray:
+    """Advect a cell-centred scalar field, returning the new field.
+
+    Values inside solid cells are kept at zero (no smoke inside obstacles).
+    """
+    cx, cy = grid.cell_centers()
+    bx, by = _backtrace(grid, cx, cy, dt)
+    out = grid.sample_center(f, bx, by)
+    out[grid.solid] = 0.0
+    return out
+
+
+def maccormack_scalar(grid: MACGrid2D, f: np.ndarray, dt: float) -> np.ndarray:
+    """MacCormack-corrected scalar advection with min/max limiting."""
+    cx, cy = grid.cell_centers()
+    bx, by = _backtrace(grid, cx, cy, dt)
+    forward = grid.sample_center(f, bx, by)
+    # trace the forward result back *forwards* to estimate the error
+    fx, fy = _backtrace(grid, cx, cy, -dt)
+    backward = grid.sample_center(forward, fx, fy)
+    corrected = forward + 0.5 * (f - backward)
+    # limiter: clamp to the values bracketing the departure point
+    lo = np.minimum.reduce(
+        [forward, grid.sample_center(f, bx + grid.dx, by), grid.sample_center(f, bx - grid.dx, by)]
+    )
+    hi = np.maximum.reduce(
+        [forward, grid.sample_center(f, bx + grid.dx, by), grid.sample_center(f, bx - grid.dx, by)]
+    )
+    out = np.clip(corrected, lo, hi)
+    out[grid.solid] = 0.0
+    return out
+
+
+def advect_velocity(grid: MACGrid2D, dt: float) -> tuple[np.ndarray, np.ndarray]:
+    """Advect the staggered velocity field, returning new (u, v) arrays.
+
+    Both components are traced through the *same* pre-advection velocity
+    field (the grid is not modified).
+    """
+    ux, uy = grid.u_positions()
+    bx, by = _backtrace(grid, ux, uy, dt)
+    new_u = grid.sample_u(bx, by)
+
+    vx, vy = grid.v_positions()
+    bx, by = _backtrace(grid, vx, vy, dt)
+    new_v = grid.sample_v(bx, by)
+    return new_u, new_v

@@ -1,0 +1,200 @@
+"""Staggered marker-and-cell (MAC) grid for 2-D incompressible flow.
+
+The grid follows the classic Harlow–Welch layout used by mantaflow:
+
+* pressure ``p`` and smoke density live at cell centres, shape ``(ny, nx)``;
+* x-velocity ``u`` lives on vertical faces, shape ``(ny, nx + 1)``;
+* y-velocity ``v`` lives on horizontal faces, shape ``(ny + 1, nx)``.
+
+Arrays are indexed ``[y, x]`` (row = y). Cell ``(j, i)`` spans the square
+``[i*dx, (i+1)*dx] x [j*dx, (j+1)*dx]`` in world space.
+
+Cell flags mark each cell as fluid or solid.  The domain border is always a
+solid wall (the paper generates "occupancy grids with the border wall").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CellType", "MACGrid2D"]
+
+
+class CellType:
+    """Cell flag values (subset of mantaflow's FlagGrid)."""
+
+    EMPTY = 0
+    FLUID = 1
+    SOLID = 2
+
+
+@dataclass
+class MACGrid2D:
+    """A 2-D MAC grid holding velocity, pressure, density and cell flags.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of cells along x and y.
+    dx:
+        Cell size in world units.  Defaults to ``1.0 / nx`` so the domain
+        width is 1 regardless of resolution (matching mantaflow's convention
+        of resolution-independent physics).
+    """
+
+    nx: int
+    ny: int
+    dx: float = 0.0
+    u: np.ndarray = field(init=False, repr=False)
+    v: np.ndarray = field(init=False, repr=False)
+    pressure: np.ndarray = field(init=False, repr=False)
+    density: np.ndarray = field(init=False, repr=False)
+    flags: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nx < 3 or self.ny < 3:
+            raise ValueError("grid must be at least 3x3 to hold a border wall")
+        if self.dx <= 0.0:
+            self.dx = 1.0 / float(self.nx)
+        self.u = np.zeros((self.ny, self.nx + 1), dtype=np.float64)
+        self.v = np.zeros((self.ny + 1, self.nx), dtype=np.float64)
+        self.pressure = np.zeros((self.ny, self.nx), dtype=np.float64)
+        self.density = np.zeros((self.ny, self.nx), dtype=np.float64)
+        self.flags = np.full((self.ny, self.nx), CellType.FLUID, dtype=np.uint8)
+        self.set_border_wall()
+
+    # ------------------------------------------------------------------
+    # flags
+    # ------------------------------------------------------------------
+    def set_border_wall(self, thickness: int = 1) -> None:
+        """Mark a solid wall of ``thickness`` cells around the domain."""
+        t = thickness
+        self.flags[:t, :] = CellType.SOLID
+        self.flags[-t:, :] = CellType.SOLID
+        self.flags[:, :t] = CellType.SOLID
+        self.flags[:, -t:] = CellType.SOLID
+
+    def add_solid(self, mask: np.ndarray) -> None:
+        """Mark cells where ``mask`` is True as solid obstacles."""
+        if mask.shape != self.flags.shape:
+            raise ValueError(f"mask shape {mask.shape} != grid shape {self.flags.shape}")
+        self.flags[mask] = CellType.SOLID
+
+    @property
+    def solid(self) -> np.ndarray:
+        """Boolean mask of solid cells."""
+        return self.flags == CellType.SOLID
+
+    @property
+    def fluid(self) -> np.ndarray:
+        """Boolean mask of fluid cells."""
+        return self.flags == CellType.FLUID
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Cell-centred field shape ``(ny, nx)``."""
+        return (self.ny, self.nx)
+
+    def geometry_field(self) -> np.ndarray:
+        """Return the occupancy (geometry) field: 1.0 in solid cells.
+
+        This is the ``g`` input channel of the approximation networks.
+        """
+        return self.solid.astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # boundary conditions
+    # ------------------------------------------------------------------
+    def enforce_solid_boundaries(self) -> None:
+        """Zero the normal velocity on every face adjacent to a solid cell.
+
+        This is the free-slip solid boundary condition: fluid may slide
+        along a wall but not flow through it.
+        """
+        solid = self.solid
+        # u face (j, i) sits between cells (j, i-1) and (j, i).
+        self.u[:, 1:-1][solid[:, :-1] | solid[:, 1:]] = 0.0
+        self.u[:, 0] = 0.0
+        self.u[:, -1] = 0.0
+        # v face (j, i) sits between cells (j-1, i) and (j, i).
+        self.v[1:-1, :][solid[:-1, :] | solid[1:, :]] = 0.0
+        self.v[0, :] = 0.0
+        self.v[-1, :] = 0.0
+
+    # ------------------------------------------------------------------
+    # sampling (bilinear interpolation at world-space points)
+    # ------------------------------------------------------------------
+    def _bilerp(self, f: np.ndarray, gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+        """Bilinearly sample array ``f`` at fractional grid coords (gx, gy)."""
+        ny, nx = f.shape
+        gx = np.clip(gx, 0.0, nx - 1.0)
+        gy = np.clip(gy, 0.0, ny - 1.0)
+        x0 = gx.astype(np.int64)
+        y0 = gy.astype(np.int64)
+        x1 = np.minimum(x0 + 1, nx - 1)
+        y1 = np.minimum(y0 + 1, ny - 1)
+        tx = gx - x0
+        ty = gy - y0
+        return (
+            f[y0, x0] * (1 - tx) * (1 - ty)
+            + f[y0, x1] * tx * (1 - ty)
+            + f[y1, x0] * (1 - tx) * ty
+            + f[y1, x1] * tx * ty
+        )
+
+    def sample_u(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Sample x-velocity at world points.  u[j,i] sits at (i*dx, (j+.5)*dx)."""
+        return self._bilerp(self.u, x / self.dx, y / self.dx - 0.5)
+
+    def sample_v(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Sample y-velocity at world points.  v[j,i] sits at ((i+.5)*dx, j*dx)."""
+        return self._bilerp(self.v, x / self.dx - 0.5, y / self.dx)
+
+    def sample_center(self, f: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Sample a cell-centred field at world points."""
+        return self._bilerp(f, x / self.dx - 0.5, y / self.dx - 0.5)
+
+    def velocity_at(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Full velocity vector sampled at world points."""
+        return self.sample_u(x, y), self.sample_v(x, y)
+
+    # ------------------------------------------------------------------
+    # derived positions
+    # ------------------------------------------------------------------
+    def cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """World coordinates of all cell centres, as two (ny, nx) arrays."""
+        ys, xs = np.mgrid[0 : self.ny, 0 : self.nx]
+        return (xs + 0.5) * self.dx, (ys + 0.5) * self.dx
+
+    def u_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """World coordinates of u-faces, as two (ny, nx+1) arrays."""
+        ys, xs = np.mgrid[0 : self.ny, 0 : self.nx + 1]
+        return xs * self.dx, (ys + 0.5) * self.dx
+
+    def v_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """World coordinates of v-faces, as two (ny+1, nx) arrays."""
+        ys, xs = np.mgrid[0 : self.ny + 1, 0 : self.nx]
+        return (xs + 0.5) * self.dx, ys * self.dx
+
+    def velocity_at_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Velocity averaged to cell centres (two (ny, nx) arrays)."""
+        uc = 0.5 * (self.u[:, :-1] + self.u[:, 1:])
+        vc = 0.5 * (self.v[:-1, :] + self.v[1:, :])
+        return uc, vc
+
+    def max_speed(self) -> float:
+        """Maximum velocity magnitude estimate (for CFL time steps)."""
+        uc, vc = self.velocity_at_centers()
+        return float(np.sqrt(uc**2 + vc**2).max())
+
+    def copy(self) -> "MACGrid2D":
+        """Deep copy of the grid and all its fields."""
+        g = MACGrid2D(self.nx, self.ny, self.dx)
+        g.u = self.u.copy()
+        g.v = self.v.copy()
+        g.pressure = self.pressure.copy()
+        g.density = self.density.copy()
+        g.flags = self.flags.copy()
+        return g

@@ -1,0 +1,223 @@
+"""Preconditioned conjugate gradient with the MIC(0) preconditioner.
+
+This is the exact solver the paper's neural networks approximate (Algorithm 1
+lines 7-17): conjugate gradient on the 5-point Poisson system, preconditioned
+with the Modified Incomplete Cholesky level-0 factorisation ("MICCG(0)").
+
+The triangular solves of the preconditioner are sequential recurrences; we
+vectorise them with a wavefront sweep over anti-diagonals (cells with equal
+``x + y`` are mutually independent), which keeps the solver pure NumPy while
+avoiding a per-cell Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .operators import apply_laplacian
+from .laplacian import remove_nullspace, stencil_arrays
+
+__all__ = ["SolveResult", "MIC0Preconditioner", "PCGSolver", "jacobi_solve"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a pressure solve."""
+
+    pressure: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    flops: float = 0.0
+    residual_history: list[float] = field(default_factory=list)
+
+
+def _wavefronts(mask: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Index arrays of ``mask`` cells grouped by anti-diagonal x + y."""
+    ys, xs = np.nonzero(mask)
+    keys = ys + xs
+    order = np.argsort(keys, kind="stable")
+    ys, xs, keys = ys[order], xs[order], keys[order]
+    fronts: list[tuple[np.ndarray, np.ndarray]] = []
+    if ys.size == 0:
+        return fronts
+    bounds = np.nonzero(np.diff(keys))[0] + 1
+    for y_blk, x_blk in zip(np.split(ys, bounds), np.split(xs, bounds)):
+        fronts.append((y_blk, x_blk))
+    return fronts
+
+
+class MIC0Preconditioner:
+    """Modified Incomplete Cholesky(0) preconditioner for the Poisson system.
+
+    Follows Bridson's formulation (tuning constant ``tau = 0.97``, safety
+    ``sigma = 0.25``).  Requires the domain border to be solid, which the
+    simulator guarantees (border wall).
+    """
+
+    def __init__(self, solid: np.ndarray, tau: float = 0.97, sigma: float = 0.25):
+        if not (solid[0, :].all() and solid[-1, :].all() and solid[:, 0].all() and solid[:, -1].all()):
+            raise ValueError("MIC(0) requires a solid border wall")
+        self.solid = solid
+        self.fluid = ~solid
+        self.adiag, self.aplusx, self.aplusy = stencil_arrays(solid)
+        self._fronts = _wavefronts(self.fluid)
+        self.precon = self._build(tau, sigma)
+
+    def _build(self, tau: float, sigma: float) -> np.ndarray:
+        adiag, apx, apy = self.adiag, self.aplusx, self.aplusy
+        precon = np.zeros_like(adiag)
+        for ys, xs in self._fronts:
+            left = precon[ys, xs - 1]
+            below = precon[ys - 1, xs]
+            apx_l = apx[ys, xs - 1]
+            apy_b = apy[ys - 1, xs]
+            e = (
+                adiag[ys, xs]
+                - (apx_l * left) ** 2
+                - (apy_b * below) ** 2
+                - tau
+                * (
+                    apx_l * self.aplusy[ys, xs - 1] * left**2
+                    + apy_b * self.aplusx[ys - 1, xs] * below**2
+                )
+            )
+            bad = e < sigma * adiag[ys, xs]
+            e = np.where(bad, adiag[ys, xs], e)
+            precon[ys, xs] = 1.0 / np.sqrt(np.maximum(e, 1e-30))
+        return precon
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply the preconditioner: solve ``(L L^T) z = r`` approximately."""
+        precon, apx, apy = self.precon, self.aplusx, self.aplusy
+        q = np.zeros_like(r)
+        for ys, xs in self._fronts:  # forward: L q = r
+            t = (
+                r[ys, xs]
+                - apx[ys, xs - 1] * precon[ys, xs - 1] * q[ys, xs - 1]
+                - apy[ys - 1, xs] * precon[ys - 1, xs] * q[ys - 1, xs]
+            )
+            q[ys, xs] = t * precon[ys, xs]
+        z = np.zeros_like(r)
+        for ys, xs in reversed(self._fronts):  # backward: L^T z = q
+            t = (
+                q[ys, xs]
+                - apx[ys, xs] * precon[ys, xs] * z[ys, xs + 1]
+                - apy[ys, xs] * precon[ys, xs] * z[ys + 1, xs]
+            )
+            z[ys, xs] = t * precon[ys, xs]
+        return z
+
+
+class PCGSolver:
+    """PCG pressure solver (the paper's baseline 'PCG' method).
+
+    Parameters
+    ----------
+    tol:
+        Relative residual tolerance (infinity norm, relative to ``|b|``).
+    max_iterations:
+        Iteration cap; the solver reports non-convergence beyond it.
+    preconditioner:
+        ``"mic0"`` (default), ``"jacobi"`` or ``"none"``.
+    """
+
+    name = "pcg"
+
+    def __init__(
+        self,
+        tol: float = 1e-5,
+        max_iterations: int = 2000,
+        preconditioner: str = "mic0",
+    ):
+        if preconditioner not in ("mic0", "jacobi", "none"):
+            raise ValueError(f"unknown preconditioner {preconditioner!r}")
+        self.tol = tol
+        self.max_iterations = max_iterations
+        self.preconditioner = preconditioner
+        self._cache_key: bytes | None = None
+        self._mic: MIC0Preconditioner | None = None
+
+    def _precondition(self, solid: np.ndarray):
+        key = solid.tobytes()
+        if self.preconditioner == "mic0":
+            if self._cache_key != key:
+                self._mic = MIC0Preconditioner(solid)
+                self._cache_key = key
+            return self._mic.apply
+        if self.preconditioner == "jacobi":
+            adiag, _, _ = stencil_arrays(solid)
+            inv = np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
+            return lambda r: r * inv
+        return lambda r: r
+
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
+        """Solve ``A p = b`` on fluid cells; returns mean-zero pressure."""
+        fluid = ~solid
+        nf = int(fluid.sum())
+        apply_m = self._precondition(solid)
+
+        # compatibility projection: remove the per-component null space
+        b = remove_nullspace(b, solid)
+
+        p = np.zeros_like(b)
+        r = b.copy()
+        bnorm = float(np.abs(b[fluid]).max()) if nf else 0.0
+        history = [bnorm]
+        if bnorm < 1e-300:
+            return SolveResult(p, 0, True, 0.0, 0.0, history)
+        tol_abs = self.tol * bnorm
+
+        z = apply_m(r)
+        s = z.copy()
+        sigma = float((z[fluid] * r[fluid]).sum())
+        flops = 0.0
+        it = 0
+        converged = False
+        for it in range(1, self.max_iterations + 1):
+            w = apply_laplacian(s, solid)
+            denom = float((w[fluid] * s[fluid]).sum())
+            if abs(denom) < 1e-300:
+                break
+            alpha = sigma / denom
+            p += alpha * s
+            r -= alpha * w
+            flops += 40.0 * nf
+            rnorm = float(np.abs(r[fluid]).max())
+            history.append(rnorm)
+            if rnorm <= tol_abs:
+                converged = True
+                break
+            z = apply_m(r)
+            sigma_new = float((z[fluid] * r[fluid]).sum())
+            beta = sigma_new / sigma
+            s = z + beta * s
+            sigma = sigma_new
+
+        p = remove_nullspace(p, solid)
+        rnorm = float(np.abs(r[fluid]).max())
+        return SolveResult(p, it, converged, rnorm, flops, history)
+
+
+def jacobi_solve(
+    b: np.ndarray, solid: np.ndarray, iterations: int = 200, tol: float = 0.0
+) -> SolveResult:
+    """Weighted-Jacobi iteration on the Poisson system (cheap baseline)."""
+    fluid = ~solid
+    adiag, _, _ = stencil_arrays(solid)
+    inv = np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
+    b = np.where(fluid, b, 0.0)
+    p = np.zeros_like(b)
+    it = 0
+    rnorm = float(np.abs(b[fluid]).max()) if fluid.any() else 0.0
+    for it in range(1, iterations + 1):
+        r = b - apply_laplacian(p, solid)
+        rnorm = float(np.abs(r[fluid]).max()) if fluid.any() else 0.0
+        if tol and rnorm <= tol:
+            break
+        p = p + 0.8 * inv * r
+    if fluid.any():
+        p = np.where(fluid, p - p[fluid].mean(), 0.0)
+    return SolveResult(p, it, bool(tol and rnorm <= tol), rnorm, 12.0 * it * float(fluid.sum()))

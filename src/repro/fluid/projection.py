@@ -1,0 +1,70 @@
+"""Pressure projection (Algorithm 1, line 6) with pluggable solvers.
+
+A *pressure solver* is any object with ``solve(b, solid) -> SolveResult`` and
+a ``name`` attribute, where ``b`` is the Poisson right-hand side on the grid.
+The exact PCG solver, multigrid, the neural-network approximators and the
+adaptive Smart-fluidnet controller all implement this protocol, so the
+simulator is agnostic to how the Poisson equation is (approximately) solved.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from .grid import MACGrid2D
+from .laplacian import poisson_rhs
+from .operators import divergence, pressure_gradient_update
+from .pcg import SolveResult
+
+__all__ = ["PressureSolver", "ProjectionInfo", "project"]
+
+
+class PressureSolver(Protocol):
+    """Protocol implemented by every pressure solver in the package."""
+
+    name: str
+
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:  # pragma: no cover
+        """Solve ``A p = b`` over fluid cells of the given solid mask."""
+        ...
+
+
+@dataclass
+class ProjectionInfo:
+    """Diagnostics of one projection step."""
+
+    solver_name: str
+    solve_seconds: float
+    iterations: int
+    converged: bool
+    pre_divergence: float
+    post_divergence: float
+    flops: float
+
+
+def project(grid: MACGrid2D, solver: PressureSolver, dt: float, rho: float = 1.0) -> ProjectionInfo:
+    """Make the grid velocity (approximately) divergence-free, in place."""
+    grid.enforce_solid_boundaries()
+    div = divergence(grid)
+    pre = float(np.abs(div[grid.fluid]).max()) if grid.fluid.any() else 0.0
+    b = poisson_rhs(div, grid.solid, dt, rho, grid.dx)
+    t0 = time.perf_counter()
+    res = solver.solve(b, grid.solid)
+    dt_solve = time.perf_counter() - t0
+    grid.pressure = res.pressure
+    pressure_gradient_update(grid, res.pressure, dt, rho)
+    post_div = divergence(grid)
+    post = float(np.abs(post_div[grid.fluid]).max()) if grid.fluid.any() else 0.0
+    return ProjectionInfo(
+        solver_name=getattr(solver, "name", type(solver).__name__),
+        solve_seconds=dt_solve,
+        iterations=res.iterations,
+        converged=res.converged,
+        pre_divergence=pre,
+        post_divergence=post,
+        flops=res.flops,
+    )

@@ -1,0 +1,82 @@
+"""Simulation scenarios: the 2-D smoke plume of the paper's evaluation.
+
+An *input problem* in the paper is one random initial condition for the smoke
+plume: a pseudo-random turbulent initial velocity plus an occupancy grid with
+the border wall and some random objects.  :func:`make_smoke_plume` builds
+exactly that; :mod:`repro.data.problems` wraps it into reproducible datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import random_obstacles
+from .grid import MACGrid2D
+from .turbulence import apply_turbulent_velocity
+
+__all__ = ["SmokeSource", "make_smoke_plume"]
+
+
+@dataclass
+class SmokeSource:
+    """A region that continuously emits smoke with a vertical inflow.
+
+    Attributes
+    ----------
+    mask:
+        Boolean (ny, nx) emission region.
+    rate:
+        Density added per unit time inside the region (clamped to 1).
+    inflow:
+        Upward inflow speed imposed on v-faces inside the region.
+    """
+
+    mask: np.ndarray
+    rate: float = 2.0
+    inflow: float = 0.8
+
+    def apply(self, grid: MACGrid2D, dt: float) -> None:
+        """Emit smoke and impose the inflow velocity (in place)."""
+        grid.density[self.mask] = np.minimum(grid.density[self.mask] + self.rate * dt, 1.0)
+        vmask = np.zeros((grid.ny + 1, grid.nx), dtype=bool)
+        vmask[:-1, :] |= self.mask
+        vmask[1:, :] |= self.mask
+        grid.v[vmask] = -self.inflow  # negative v = upward
+        grid.enforce_solid_boundaries()
+
+
+def make_smoke_plume(
+    nx: int,
+    ny: int,
+    rng: np.random.Generator | int | None = None,
+    with_obstacles: bool = True,
+    turbulence_magnitude: float | None = None,
+    n_objects: int | None = None,
+) -> tuple[MACGrid2D, SmokeSource]:
+    """Build a randomised smoke-plume input problem.
+
+    Returns the initialised grid (turbulent velocity, obstacles, border wall,
+    seeded density) and the continuous smoke source near the bottom of the
+    domain.
+    """
+    rng = np.random.default_rng(rng)
+    grid = MACGrid2D(nx, ny)
+    if with_obstacles:
+        grid.add_solid(random_obstacles((ny, nx), rng, n_objects=n_objects))
+    if turbulence_magnitude is None:
+        turbulence_magnitude = float(rng.uniform(0.3, 1.0))
+    apply_turbulent_velocity(grid, rng, magnitude=turbulence_magnitude)
+
+    # source: a horizontal strip near the bottom centre, kept off obstacles
+    mask = np.zeros((ny, nx), dtype=bool)
+    w = max(2, nx // 6)
+    cx = nx // 2 + int(rng.integers(-nx // 8, nx // 8 + 1))
+    x0 = int(np.clip(cx - w // 2, 1, nx - 1 - w))
+    y0 = ny - 1 - max(2, ny // 10)
+    mask[y0 : y0 + 2, x0 : x0 + w] = True
+    mask &= ~grid.solid
+    source = SmokeSource(mask=mask)
+    source.apply(grid, dt=0.5)  # seed a little smoke so frame 0 is not empty
+    return grid, source

@@ -1,0 +1,170 @@
+"""The Eulerian fluid simulator (the paper's Algorithm 1).
+
+Each time step performs, in order:
+
+1. smoke emission (scenario source),
+2. advection of density and velocity (semi-Lagrangian, optionally
+   MacCormack),
+3. body forces (buoyancy, optional vorticity confinement),
+4. pressure projection with the configured solver.
+
+After the projection the simulator records the step's ``DivNorm`` (Eq. 5 of
+the paper) and timing diagnostics.  A *controller* hook — invoked with the
+step record — may replace ``simulator.solver`` between steps; this is how the
+Smart-fluidnet runtime switches networks (Algorithm 2), and how it requests a
+restart with the exact method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .advection import advect_scalar, advect_velocity, maccormack_scalar
+from .forces import add_buoyancy, add_vorticity_confinement
+from .grid import MACGrid2D
+from .operators import divergence
+from .projection import PressureSolver, ProjectionInfo, project
+from .scenarios import SmokeSource
+
+__all__ = ["SimulationConfig", "StepRecord", "SimulationResult", "FluidSimulator", "RestartRequested"]
+
+
+class RestartRequested(Exception):
+    """Raised by a controller to abort the run and restart with PCG."""
+
+
+@dataclass
+class SimulationConfig:
+    """Physical and numerical parameters of a run."""
+
+    dt: float = 0.05
+    rho: float = 1.0
+    buoyancy: float = 1.0
+    vorticity_eps: float = 0.0
+    maccormack: bool = False
+    divnorm_k: float = 3.0  # weighting distance k in w_i = max(1, k - d_i)
+
+
+@dataclass
+class StepRecord:
+    """Diagnostics collected after each simulation step."""
+
+    step: int
+    divnorm: float
+    projection: ProjectionInfo
+    step_seconds: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a complete run."""
+
+    density: np.ndarray
+    records: list[StepRecord]
+    total_seconds: float
+    restarts: int = 0
+
+    @property
+    def divnorm_history(self) -> np.ndarray:
+        """DivNorm of every step, in order."""
+        return np.array([r.divnorm for r in self.records])
+
+    @property
+    def cumdivnorm_history(self) -> np.ndarray:
+        """CumDivNorm (Eq. 9): running sum of DivNorm."""
+        return np.cumsum(self.divnorm_history)
+
+    @property
+    def solve_seconds(self) -> float:
+        """Total time spent in the pressure solver."""
+        return sum(r.projection.solve_seconds for r in self.records)
+
+    @property
+    def total_flops(self) -> float:
+        """Total estimated pressure-solve FLOPs."""
+        return sum(r.projection.flops for r in self.records)
+
+
+def divnorm_weights(solid: np.ndarray, k: float = 3.0) -> np.ndarray:
+    """DivNorm cell weights ``w_i = max(1, k - d_i)`` (Eq. 5).
+
+    ``d_i`` is 0 in solid cells and the Euclidean distance to the nearest
+    solid cell in fluid cells; grid boundaries count as solid (border wall).
+    """
+    from scipy.ndimage import distance_transform_edt
+
+    dist = distance_transform_edt(~solid)
+    return np.maximum(1.0, k - dist)
+
+
+def compute_divnorm(grid: MACGrid2D, weights: np.ndarray) -> float:
+    """Weighted squared-divergence objective (Eq. 5) of the current velocity."""
+    div = divergence(grid)
+    return float((weights * div**2)[grid.fluid].sum())
+
+
+class FluidSimulator:
+    """Run the smoke-plume simulation with a pluggable pressure solver."""
+
+    def __init__(
+        self,
+        grid: MACGrid2D,
+        solver: PressureSolver,
+        source: SmokeSource | None = None,
+        config: SimulationConfig | None = None,
+        controller: Callable[["FluidSimulator", StepRecord], None] | None = None,
+    ):
+        self.grid = grid
+        self.solver = solver
+        self.source = source
+        self.config = config or SimulationConfig()
+        self.controller = controller
+        self.weights = divnorm_weights(grid.solid, self.config.divnorm_k)
+        self.records: list[StepRecord] = []
+        self._step = 0
+
+    def step(self) -> StepRecord:
+        """Advance the simulation by one time step."""
+        cfg = self.config
+        g = self.grid
+        t0 = time.perf_counter()
+        if self.source is not None:
+            self.source.apply(g, cfg.dt)
+        if cfg.maccormack:
+            g.density = maccormack_scalar(g, g.density, cfg.dt)
+        else:
+            g.density = advect_scalar(g, g.density, cfg.dt)
+        new_u, new_v = advect_velocity(g, cfg.dt)
+        g.u, g.v = new_u, new_v
+        g.enforce_solid_boundaries()
+        add_buoyancy(g, cfg.dt, cfg.buoyancy)
+        if cfg.vorticity_eps > 0:
+            add_vorticity_confinement(g, cfg.dt, cfg.vorticity_eps)
+        info = project(g, self.solver, cfg.dt, cfg.rho)
+        divnorm = compute_divnorm(g, self.weights)
+        rec = StepRecord(
+            step=self._step,
+            divnorm=divnorm,
+            projection=info,
+            step_seconds=time.perf_counter() - t0,
+        )
+        self.records.append(rec)
+        self._step += 1
+        if self.controller is not None:
+            self.controller(self, rec)
+        return rec
+
+    def run(self, n_steps: int) -> SimulationResult:
+        """Run ``n_steps`` steps and return the result (density + records)."""
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            self.step()
+        return SimulationResult(
+            density=self.grid.density.copy(),
+            records=list(self.records),
+            total_seconds=time.perf_counter() - t0,
+        )

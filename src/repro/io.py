@@ -1,0 +1,117 @@
+"""Persistence for trained models and assembled frameworks.
+
+Architectures serialise to JSON (human-diffable); weights to ``.npz``; the
+pair round-trips a :class:`~repro.models.TrainedModel`.  A whole
+:class:`~repro.core.SmartFluidnet` (runtime models + KNN databases +
+requirement) round-trips through a directory, so the expensive offline phase
+can be shipped to the machines that only run the online phase.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import QlossKNNPredictor, SelectedModel, SmartFluidnet, UserRequirement
+from repro.models import ArchSpec, TrainedModel
+
+__all__ = ["save_model", "load_model", "save_framework", "load_framework"]
+
+
+def save_model(model: TrainedModel, directory: str | Path) -> Path:
+    """Write a trained model (spec JSON + weights npz) to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "arch.json").write_text(json.dumps(model.spec.to_dict(), indent=2))
+    weights = {f"p{i}": p.value for i, p in enumerate(model.network.parameters())}
+    np.savez(directory / "weights.npz", **weights)
+    meta = {
+        "inference_seconds": model.inference_seconds,
+        "quality_loss": model.quality_loss,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_model(directory: str | Path) -> TrainedModel:
+    """Rebuild a trained model saved by :func:`save_model`."""
+    directory = Path(directory)
+    spec = ArchSpec.from_dict(json.loads((directory / "arch.json").read_text()))
+    network = spec.build(rng=0)
+    with np.load(directory / "weights.npz") as data:
+        params = network.parameters()
+        if len(data.files) != len(params):
+            raise ValueError(
+                f"weight count mismatch: file has {len(data.files)}, "
+                f"architecture needs {len(params)}"
+            )
+        for i, p in enumerate(params):
+            stored = data[f"p{i}"]
+            if stored.shape != p.value.shape:
+                raise ValueError(f"shape mismatch for parameter {i}")
+            p.value[...] = stored
+    meta = json.loads((directory / "meta.json").read_text())
+    return TrainedModel(
+        spec=spec,
+        network=network,
+        inference_seconds=meta.get("inference_seconds", float("nan")),
+        quality_loss=meta.get("quality_loss", float("nan")),
+    )
+
+
+def save_framework(framework: SmartFluidnet, directory: str | Path) -> Path:
+    """Persist a built Smart-fluidnet (runtime models, KNN, requirement)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "requirement": {"q": framework.requirement.q, "t": framework.requirement.t},
+        "exact_seconds": framework.exact_seconds,
+        "models": [],
+        "knn_k": framework.knn.k,
+    }
+    for i, sel in enumerate(framework.runtime_models):
+        sub = directory / f"model{i}"
+        save_model(sel.model, sub)
+        entry = {
+            "dir": sub.name,
+            "name": sel.name,
+            "success_prob": sel.success_prob,
+            "model_seconds": sel.model_seconds,
+            "expected_seconds": sel.expected_seconds,
+            "knn": framework.knn._trees[sel.name].items()
+            if sel.name in framework.knn._trees
+            else [],
+        }
+        manifest["models"].append(entry)
+    (directory / "framework.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_framework(directory: str | Path) -> SmartFluidnet:
+    """Rebuild a Smart-fluidnet saved by :func:`save_framework`."""
+    directory = Path(directory)
+    manifest = json.loads((directory / "framework.json").read_text())
+    knn = QlossKNNPredictor(k=manifest.get("knn_k", 4))
+    runtime: list[SelectedModel] = []
+    for entry in manifest["models"]:
+        model = load_model(directory / entry["dir"])
+        model.spec.name = entry["name"]
+        runtime.append(
+            SelectedModel(
+                model=model,
+                success_prob=entry["success_prob"],
+                model_seconds=entry["model_seconds"],
+                expected_seconds=entry["expected_seconds"],
+            )
+        )
+        if entry["knn"]:
+            knn.add_database(entry["name"], [tuple(p) for p in entry["knn"]])
+    req = manifest["requirement"]
+    return SmartFluidnet(
+        runtime_models=runtime,
+        knn=knn,
+        requirement=UserRequirement(q=req["q"], t=req["t"]),
+        exact_seconds=manifest.get("exact_seconds", float("nan")),
+    )

@@ -1,0 +1,21 @@
+"""Approximation models: architecture specs, baselines and the solver adapter."""
+
+from .arch import ArchSpec, StageSpec, MAX_STAGES
+from .tompson import tompson_arch, TOMPSON_STAGES
+from .yang import YangModel
+from .solver import NNProjectionSolver
+from .training import TrainedModel, merge_datasets, rollout_frames, train_model
+
+__all__ = [
+    "ArchSpec",
+    "StageSpec",
+    "MAX_STAGES",
+    "tompson_arch",
+    "TOMPSON_STAGES",
+    "YangModel",
+    "NNProjectionSolver",
+    "TrainedModel",
+    "train_model",
+    "rollout_frames",
+    "merge_datasets",
+]

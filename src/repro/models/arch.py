@@ -1,0 +1,183 @@
+"""Architecture specification for the approximation CNNs.
+
+The paper's transformation operations (Section 4) and the 48-dimensional MLP
+feature vector (Eq. 6) both operate on a *stage-structured* view of a
+network: up to nine stages, each described by kernel size, channel count,
+pooling size, unpooling size and residual flag.  :class:`ArchSpec` is that
+view; :meth:`ArchSpec.build` lowers it to a concrete
+:class:`repro.nn.Network`.
+
+A stage expands to ``[MaxPool(pool) ->] Conv(k, c) -> ReLU [-> Upsample(unpool)]
+[-> Dropout(p)]``, optionally wrapped in a residual connection when input and
+output shapes match.  Pooling *before* the convolution makes a pooled stage
+genuinely cheaper (the convolution runs at the reduced resolution), which is
+the point of the paper's pooling transformation: discard 75% of a layer's
+neurons to trade accuracy for speed.  A final 1x1 convolution maps to the
+single pressure output channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+import numpy as np
+
+from repro.nn import Conv2d, Dropout, MaxPool2d, Network, ReLU, Residual, Upsample2d
+
+__all__ = ["StageSpec", "ArchSpec", "MAX_STAGES"]
+
+#: the MLP feature vector reserves nine slots per architecture property
+MAX_STAGES = 9
+
+
+@dataclass
+class StageSpec:
+    """One convolutional stage of an approximation network."""
+
+    kernel: int = 3
+    channels: int = 8
+    pool: int = 1  # 1 = no pooling, 2 = 2x2 max pooling
+    unpool: int = 1  # upsampling factor restoring the spatial size
+    dropout: float = 0.0
+    residual: bool = False
+
+    def validate(self) -> None:
+        """Raise ValueError if the stage is malformed."""
+        if self.kernel % 2 == 0 or self.kernel < 1:
+            raise ValueError(f"kernel must be odd and positive, got {self.kernel}")
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.pool != self.unpool:
+            raise ValueError(
+                "pool and unpool must match so the stage preserves the grid size"
+            )
+        if self.pool not in (1, 2, 4):
+            raise ValueError(f"unsupported pool factor {self.pool}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+
+@dataclass
+class ArchSpec:
+    """A stage-structured network architecture.
+
+    ``in_channels`` defaults to 2 (velocity divergence + geometry), and the
+    output is always a single pressure channel, as in the paper's Eq. 4.
+    """
+
+    stages: list[StageSpec] = field(default_factory=list)
+    in_channels: int = 2
+    name: str = ""
+
+    def validate(self) -> None:
+        """Raise ValueError if any stage (or the stage count) is invalid."""
+        if not 1 <= len(self.stages) <= MAX_STAGES:
+            raise ValueError(f"need 1..{MAX_STAGES} stages, got {len(self.stages)}")
+        for s in self.stages:
+            s.validate()
+
+    # ------------------------------------------------------------------
+    def build(self, rng=None) -> Network:
+        """Instantiate a trainable network for this architecture."""
+        self.validate()
+        rng = np.random.default_rng(rng)
+        layers = []
+        prev = self.in_channels
+        for s in self.stages:
+            stage_layers: list = []
+            if s.pool > 1:
+                stage_layers.append(MaxPool2d(s.pool))
+            stage_layers.append(Conv2d(prev, s.channels, kernel=s.kernel, rng=rng))
+            stage_layers.append(ReLU())
+            if s.unpool > 1:
+                stage_layers.append(Upsample2d(s.unpool))
+            if s.dropout > 0.0:
+                stage_layers.append(Dropout(s.dropout, rng=rng))
+            if s.residual and prev == s.channels:
+                layers.append(Residual(stage_layers))
+            else:
+                layers.extend(stage_layers)
+            prev = s.channels
+        layers.append(Conv2d(prev, 1, kernel=1, rng=rng))
+        return Network(layers)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """Number of convolutional stages."""
+        return len(self.stages)
+
+    def copy(self) -> "ArchSpec":
+        """Deep copy of the spec."""
+        return ArchSpec(
+            stages=[StageSpec(**asdict(s)) for s in self.stages],
+            in_channels=self.in_channels,
+            name=self.name,
+        )
+
+    def architecture_vectors(self) -> dict[str, np.ndarray]:
+        """Per-property vectors padded to :data:`MAX_STAGES` (Eq. 6 pieces).
+
+        Returns the five nine-component vectors the MLP feature vector is
+        made of: kernel sizes, channel counts, pooling sizes, unpooling
+        sizes and residual flags.
+        """
+        def padded(values):
+            out = np.zeros(MAX_STAGES)
+            out[: len(values)] = values
+            return out
+
+        return {
+            "ker": padded([s.kernel for s in self.stages]),
+            "chn": padded([s.channels for s in self.stages]),
+            "pool": padded([s.pool for s in self.stages]),
+            "unp": padded([s.unpool for s in self.stages]),
+            "res": padded([float(s.residual) for s in self.stages]),
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "in_channels": self.in_channels,
+            "stages": [asdict(s) for s in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            stages=[StageSpec(**s) for s in data["stages"]],
+            in_channels=data.get("in_channels", 2),
+            name=data.get("name", ""),
+        )
+
+    def stage_convs(self, network: Network) -> list[Conv2d]:
+        """Return the Conv2d of each stage (plus the final 1x1) of a network
+        built from this spec, in stage order.
+
+        Used by the transformation operations to inherit weights from a
+        parent model (network morphism).
+        """
+        convs: list[Conv2d] = []
+        for layer in network.layers:
+            if isinstance(layer, Residual):
+                convs.extend(l for l in layer.layers if isinstance(l, Conv2d))
+            elif isinstance(layer, Conv2d):
+                convs.append(layer)
+        if len(convs) != len(self.stages) + 1:
+            raise ValueError("network does not match this spec")
+        return convs
+
+    def total_neurons(self) -> int:
+        """Channel-count sum, the paper's proxy for a layer's neuron count."""
+        return sum(s.channels for s in self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        desc = ",".join(
+            f"{s.channels}k{s.kernel}" + ("p" if s.pool > 1 else "") + ("r" if s.residual else "")
+            + (f"d{s.dropout:.2f}" if s.dropout else "")
+            for s in self.stages
+        )
+        return f"ArchSpec({self.name or 'anon'}: {desc})"

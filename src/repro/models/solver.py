@@ -1,0 +1,86 @@
+"""Adapter exposing a trained network as a pressure solver.
+
+The Poisson solve ``A p = b`` is linear, so two tricks apply:
+
+* **scale equivariance** — the network is trained on unit-variance
+  right-hand sides; the adapter normalises ``b`` by its standard deviation
+  over fluid cells and rescales the prediction, so one model covers all
+  magnitudes;
+* **defect correction** — the prediction can be refined by re-applying the
+  network to the residual: ``p <- p + NN(b - A p)``.  Each pass costs one
+  inference and multiplies the residual by the network's one-shot error
+  factor.
+
+The paper's GPU-scale CNNs reach their reported quality in a single
+inference; our CPU-scale CNNs use a small number of passes (default 2) to
+land in the same quality band — a documented substitution (see DESIGN.md).
+The returned pressure is zeroed on solids and mean-centred over fluid,
+matching the exact solver's convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fluid.operators import apply_laplacian
+from repro.fluid.pcg import SolveResult
+from repro.nn import Layer, Network, analyze_network
+
+__all__ = ["NNProjectionSolver"]
+
+
+class NNProjectionSolver:
+    """Pressure-solver protocol implementation backed by a neural network."""
+
+    def __init__(self, model: Layer, name: str = "nn", passes: int = 2):
+        if passes < 1:
+            raise ValueError("passes must be >= 1")
+        self.model = model
+        self.name = name
+        self.passes = passes
+
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
+        """Approximate the Poisson solution with ``passes`` network inferences."""
+        fluid = ~solid
+        nf = int(fluid.sum())
+        if nf == 0:
+            return SolveResult(np.zeros_like(b), 0, True, 0.0)
+        from repro.fluid.laplacian import remove_nullspace
+
+        b = remove_nullspace(b, solid)
+        geo = solid.astype(np.float64)
+
+        p = np.zeros_like(b)
+        r = b
+        done = 0
+        for _ in range(self.passes):
+            sigma = float(r[fluid].std())
+            if sigma < 1e-300:
+                break
+            x = np.stack([r / sigma, geo])[None]
+            dp = self.model.forward(x, training=False)[0, 0] * sigma
+            p = p + np.where(fluid, dp, 0.0)
+            r = remove_nullspace(b - apply_laplacian(p, solid), solid)
+            done += 1
+        p = remove_nullspace(p, solid)
+        residual = float(np.abs(r[fluid]).max())
+        flops = done * (self.model.flops((2,) + b.shape) + 12.0 * nf)
+        return SolveResult(p, done, True, residual, flops)
+
+    def resource_usage(self, shape: tuple[int, int]):
+        """Static FLOP/parameter/memory profile for a given grid shape.
+
+        FLOPs cover all refinement passes of one solve.
+        """
+        if isinstance(self.model, Network):
+            usage = analyze_network(self.model, (2,) + shape)
+        else:
+            from repro.nn.accounting import ResourceUsage
+
+            usage = ResourceUsage(
+                flops=self.model.flops((2,) + shape),
+                params=self.model.param_count(),
+                memory_bytes=float(self.model.param_count() * 4 + 3 * shape[0] * shape[1] * 4),
+            )
+        usage.flops = self.passes * (usage.flops + 12.0 * shape[0] * shape[1])
+        return usage

@@ -1,0 +1,33 @@
+"""The Tompson et al. baseline model (the paper's reference [10]).
+
+Tompson's FluidNet is an unsupervised CNN with five stages of convolution
+and ReLU that maps (velocity divergence, geometry) to the pressure field and
+is trained with the weighted-divergence objective (DivNorm).  We reproduce
+that architecture as an :class:`~repro.models.arch.ArchSpec`; the channel
+width defaults to a CPU-friendly scale and can be raised to the paper's
+original widths by callers with more compute.
+"""
+
+from __future__ import annotations
+
+from .arch import ArchSpec, StageSpec
+
+__all__ = ["tompson_arch", "TOMPSON_STAGES"]
+
+#: number of conv+ReLU stages in Tompson's model
+TOMPSON_STAGES = 5
+
+
+def tompson_arch(channels: int = 8, kernel: int = 3, name: str = "tompson") -> ArchSpec:
+    """Five-stage convolution + ReLU architecture (Tompson's model).
+
+    Parameters
+    ----------
+    channels:
+        Width of the hidden stages.  The original model is wider; 8 keeps
+        CPU training in seconds while preserving the architecture family.
+    kernel:
+        Convolution kernel size of every stage.
+    """
+    stages = [StageSpec(kernel=kernel, channels=channels) for _ in range(TOMPSON_STAGES)]
+    return ArchSpec(stages=stages, in_channels=2, name=name)

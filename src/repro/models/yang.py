@@ -1,0 +1,88 @@
+"""The Yang et al. baseline model (the paper's reference [11]).
+
+Yang's data-driven projection predicts each cell's pressure from a small
+local patch of features with a shared multi-layer perceptron — much cheaper
+and less accurate than Tompson's full-field CNN, which is exactly the role
+it plays in the paper's Table 1.  The patch MLP is implemented as a
+:class:`repro.nn.Layer`, so it trains with the same Trainer/losses as the
+CNNs and plugs into the same :class:`~repro.models.solver.NNProjectionSolver`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn import Dense, Layer, Network, Parameter, ReLU
+
+__all__ = ["YangModel"]
+
+
+class YangModel(Layer):
+    """Shared per-cell patch MLP: (N, C, H, W) -> (N, 1, H, W).
+
+    Each cell's prediction is an MLP applied to the ``patch x patch``
+    neighbourhood of all input channels, with zero padding at the border.
+    """
+
+    def __init__(self, in_channels: int = 2, patch: int = 3, hidden: tuple[int, ...] = (24, 12), rng=None):
+        if patch % 2 == 0:
+            raise ValueError("patch size must be odd")
+        self.in_channels = in_channels
+        self.patch = patch
+        feat = in_channels * patch * patch
+        rng = np.random.default_rng(rng)
+        layers: list[Layer] = []
+        prev = feat
+        for width in hidden:
+            layers.append(Dense(prev, width, rng=rng))
+            layers.append(ReLU())
+            prev = width
+        layers.append(Dense(prev, 1, rng=rng))
+        self.mlp = Network(layers)
+        self._in_shape: tuple[int, ...] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return self.mlp.parameters()
+
+    def _patches(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.patch
+        pad = k // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        win = sliding_window_view(xp, (k, k), axis=(2, 3))  # (N, C, H, W, k, k)
+        return win.transpose(0, 2, 3, 1, 4, 5).reshape(n * h * w, c * k * k)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(f"expected (N,{self.in_channels},H,W), got {x.shape}")
+        n, _, h, w = x.shape
+        self._in_shape = x.shape
+        flat = self.mlp.forward(self._patches(x), training=training)
+        return flat.reshape(n, h, w, 1).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._in_shape
+        k = self.patch
+        pad = k // 2
+        gflat = grad.transpose(0, 2, 3, 1).reshape(n * h * w, 1)
+        dpatches = self.mlp.backward(gflat).reshape(n, h, w, c, k, k)
+        dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i : i + h, j : j + w] += dpatches[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+        return dxp[:, :, pad : pad + h, pad : pad + w]
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        _, h, w = input_shape
+        return (1, h, w)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        _, h, w = input_shape
+        per_cell = self.mlp.flops((self.in_channels * self.patch * self.patch,))
+        return per_cell * h * w
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"YangModel(patch={self.patch})"

@@ -1,0 +1,58 @@
+"""Pure-NumPy neural-network framework.
+
+Implements exactly the layer vocabulary the paper's model transformations
+operate on (convolution, ReLU, pooling, unpooling, dropout, dense, residual
+connections) with explicit backpropagation, SGD/Adam optimisers, the
+unsupervised DivNorm loss, and static FLOP/memory accounting.
+"""
+
+from .base import Layer, Parameter
+from .init import he_init, xavier_init
+from .conv import Conv2d
+from .dense import Dense, Flatten
+from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from .pool import AvgPool2d, MaxPool2d, Upsample2d
+from .dropout import Dropout
+from .network import Network, Residual
+from .losses import DivNormLoss, Loss, MSELoss, divnorm_of_residual
+from .optim import Adam, Optimizer, SGD
+from .schedulers import CosineLR, LRScheduler, StepLR, WarmupLR
+from .training import Trainer, TrainHistory
+from .accounting import ResourceUsage, analyze_network, pcg_flops, pcg_memory_bytes
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "he_init",
+    "xavier_init",
+    "Conv2d",
+    "Dense",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Upsample2d",
+    "Dropout",
+    "Network",
+    "Residual",
+    "Loss",
+    "MSELoss",
+    "DivNormLoss",
+    "divnorm_of_residual",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRScheduler",
+    "StepLR",
+    "CosineLR",
+    "WarmupLR",
+    "Trainer",
+    "TrainHistory",
+    "ResourceUsage",
+    "analyze_network",
+    "pcg_flops",
+    "pcg_memory_bytes",
+]

@@ -1,0 +1,75 @@
+"""FLOP, parameter and memory accounting (Table 4 of the paper).
+
+FLOPs are counted analytically from layer shapes (one multiply-accumulate =
+2 FLOPs), so the numbers are hardware-independent.  Memory is the resident
+footprint of one inference: parameters plus the peak pair of activation
+buffers, in float32 as the paper's GPU deployment would hold them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .network import Network
+
+__all__ = ["ResourceUsage", "analyze_network", "pcg_flops", "pcg_memory_bytes"]
+
+_FLOAT_BYTES = 4  # float32 deployment
+
+
+@dataclass
+class ResourceUsage:
+    """Static resource profile of a model for one forward pass."""
+
+    flops: float
+    params: int
+    memory_bytes: float
+
+    @property
+    def mflops(self) -> float:
+        """FLOPs in millions."""
+        return self.flops / 1e6
+
+    @property
+    def memory_mb(self) -> float:
+        """Memory in MiB."""
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+
+def analyze_network(network: Network, input_shape: tuple[int, ...]) -> ResourceUsage:
+    """Compute FLOPs / parameters / memory for a (batch-free) input shape."""
+    flops = network.flops(input_shape)
+    params = network.param_count()
+
+    # activation footprint: the largest adjacent input/output pair
+    peak = 0
+    shape = input_shape
+    for layer in network.layers:
+        nxt = layer.output_shape(shape)
+        size = 1
+        for d in shape:
+            size *= d
+        nsize = 1
+        for d in nxt:
+            nsize *= d
+        peak = max(peak, size + nsize)
+        shape = nxt
+    memory = (params + peak) * _FLOAT_BYTES
+    return ResourceUsage(flops=flops, params=params, memory_bytes=float(memory))
+
+
+def pcg_flops(n_fluid: int, iterations: int) -> float:
+    """Estimated FLOPs of a MICCG(0) solve.
+
+    Per iteration: one 5-point mat-vec (~10 flops/cell), the MIC(0)
+    forward+backward substitution (~14), two inner products and three
+    axpy-style updates (~16) — about 40 flops per fluid cell, matching the
+    counter used by :class:`repro.fluid.pcg.PCGSolver`.
+    """
+    return 40.0 * n_fluid * iterations
+
+
+def pcg_memory_bytes(n_cells: int) -> float:
+    """Resident field memory of the PCG solver (p, r, z, s, w + stencils)."""
+    n_arrays = 9  # pressure, residual, z, search, As, adiag, aplusx, aplusy, precon
+    return float(n_arrays * n_cells * _FLOAT_BYTES)

@@ -1,0 +1,100 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit, the activation of the paper's CNN stages."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0 if training else None
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad * self._mask
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        n = 1
+        for d in input_shape:
+            n *= d
+        return float(n)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, slope: float = 0.01):
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0 if training else None
+        return np.where(x > 0, x, self.slope * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad * np.where(self._mask, 1.0, self.slope)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        n = 1
+        for d in input_shape:
+            n *= d
+        return float(n)
+
+
+class Sigmoid(Layer):
+    """Logistic activation (output layer of the success-rate MLP)."""
+
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad * self._out * (1.0 - self._out)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        n = 1
+        for d in input_shape:
+            n *= d
+        return 4.0 * n
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self):
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        self._out = out if training else None
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad * (1.0 - self._out**2)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        n = 1
+        for d in input_shape:
+            n *= d
+        return 4.0 * n

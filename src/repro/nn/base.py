@@ -1,0 +1,79 @@
+"""Core abstractions of the NumPy neural-network framework.
+
+The paper trains and runs its approximation networks in Torch7 on a GPU;
+no deep-learning framework is available offline, so :mod:`repro.nn` is a
+small from-scratch implementation with explicit forward/backward passes.
+Convolutional tensors use NCHW layout ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Layer"]
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of scalar weights."""
+        return int(self.value.size)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward` and may expose
+    :class:`Parameter` objects through :meth:`parameters`.  ``backward``
+    receives the gradient of the loss w.r.t. the layer's output and must
+    return the gradient w.r.t. its input, accumulating parameter gradients
+    as a side effect.
+    """
+
+    #: whether the layer behaves differently in training mode (e.g. dropout)
+    stochastic: bool = False
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad`` (dL/dout) and return dL/din."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of this layer (may be empty)."""
+        return []
+
+    # ---- static analysis hooks (used by repro.nn.accounting) ----
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape produced for a (batch-free) input shape."""
+        return input_shape
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        """Approximate floating-point operations for one forward pass."""
+        return 0.0
+
+    def param_count(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return type(self).__name__

@@ -1,0 +1,92 @@
+"""2-D convolution via im2col.
+
+Stride is fixed at 1 with "same" zero padding — downsampling in this package
+is expressed through explicit pooling layers, matching the architecture
+vocabulary of the paper's transformation operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .base import Layer, Parameter
+from .init import he_init
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Layer):
+    """Same-padded stride-1 convolution over NCHW tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int = 3, rng=None):
+        if kernel % 2 == 0:
+            raise ValueError("Conv2d requires an odd kernel for same padding")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        fan_in = in_channels * kernel * kernel
+        rng = np.random.default_rng(rng)
+        self.weight = Parameter(
+            he_init(rng, (out_channels, in_channels, kernel, kernel), fan_in), "conv.weight"
+        )
+        self.bias = Parameter(np.zeros(out_channels), "conv.bias")
+        self._cols: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def _im2col(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        pad = k // 2
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        win = sliding_window_view(xp, (k, k), axis=(2, 3))  # (N, C, H, W, k, k)
+        return win.transpose(0, 2, 3, 1, 4, 5).reshape(n, h * w, c * k * k)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N,{self.in_channels},H,W) input, got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        cols = self._im2col(x)
+        self._cols = cols if training else None
+        self._in_shape = x.shape
+        wmat = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ wmat.T + self.bias.value
+        return out.transpose(0, 2, 1).reshape(n, self.out_channels, h, w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._in_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w = self._in_shape
+        k = self.kernel
+        pad = k // 2
+        g2 = grad.reshape(n, self.out_channels, h * w).transpose(0, 2, 1)  # (N, HW, F)
+        wmat = self.weight.value.reshape(self.out_channels, -1)
+
+        dw = np.einsum("nlf,nlc->fc", g2, self._cols)
+        self.weight.grad += dw.reshape(self.weight.value.shape)
+        self.bias.grad += g2.sum(axis=(0, 1))
+
+        dcols = g2 @ wmat  # (N, HW, C*k*k)
+        dcols = dcols.reshape(n, h, w, c, k, k)
+        dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+        for i in range(k):
+            for j in range(k):
+                dxp[:, :, i : i + h, j : j + w] += dcols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+        return dxp[:, :, pad : pad + h, pad : pad + w]
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        _, h, w = input_shape
+        return (self.out_channels, h, w)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        _, h, w = input_shape
+        per_pixel = 2.0 * self.in_channels * self.kernel * self.kernel
+        return per_pixel * self.out_channels * h * w
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Conv2d({self.in_channels}->{self.out_channels}, k={self.kernel})"

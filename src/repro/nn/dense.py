@@ -1,0 +1,70 @@
+"""Fully-connected layers (used by the MLP success-rate model and Yang's
+patch-based predictor)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, Parameter
+from .init import he_init
+
+__all__ = ["Dense", "Flatten"]
+
+
+class Dense(Layer):
+    """Affine layer over (N, in_features) tensors."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None):
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = np.random.default_rng(rng)
+        self.weight = Parameter(he_init(rng, (in_features, out_features), in_features), "dense.weight")
+        self.bias = Parameter(np.zeros(out_features), "dense.bias")
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(f"expected (N,{self.in_features}) input, got {x.shape}")
+        self._x = x if training else None
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        self.weight.grad += self._x.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (self.out_features,)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        return 2.0 * self.in_features * self.out_features
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Dense({self.in_features}->{self.out_features})"
+
+
+class Flatten(Layer):
+    """Flatten NCHW tensors to (N, C*H*W)."""
+
+    def __init__(self):
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad.reshape(self._shape)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        n = 1
+        for d in input_shape:
+            n *= d
+        return (n,)

@@ -1,0 +1,47 @@
+"""Inverted dropout (the paper's fourth transformation operation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Randomly zero activations with probability ``p`` during training.
+
+    Uses *inverted* scaling, so inference is the identity.  Note the paper
+    uses dropout not for regularisation during training only, but as a model
+    transformation that permanently thins a layer; we capture that in the
+    architecture spec while this layer provides the stochastic behaviour.
+    """
+
+    stochastic = True
+
+    def __init__(self, p: float = 0.1, rng=None):
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = np.random.default_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        n = 1
+        for d in input_shape:
+            n *= d
+        return float(n)

@@ -1,0 +1,18 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_init", "xavier_init"]
+
+
+def he_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He-normal initialisation (suited to ReLU activations)."""
+    return rng.standard_normal(shape) * np.sqrt(2.0 / max(fan_in, 1))
+
+
+def xavier_init(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot-uniform initialisation (suited to sigmoid/tanh activations)."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, shape)

@@ -1,0 +1,82 @@
+"""Loss functions.
+
+``DivNormLoss`` is the paper's unsupervised objective (Eq. 5): the weighted
+squared divergence of the velocity field *after* applying the predicted
+pressure.  Because the velocity update is linear in the pressure, that
+divergence equals (up to a positive constant) the weighted residual of the
+Poisson system, so the loss is computed directly from the system right-hand
+side without running the simulator:
+
+    div(u_new) = -kappa * (b - A p_hat),   kappa = dt / (rho dx^2)
+
+and the gradient w.r.t. ``p_hat`` follows from the symmetry of ``A``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fluid.operators import apply_laplacian
+
+__all__ = ["Loss", "MSELoss", "DivNormLoss", "divnorm_of_residual"]
+
+
+class Loss:
+    """Protocol: compute scalar loss and gradient w.r.t. the prediction."""
+
+    def value_and_grad(self, pred: np.ndarray, batch: dict) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error against ``batch["y"]``."""
+
+    def value_and_grad(self, pred: np.ndarray, batch: dict) -> tuple[float, np.ndarray]:
+        y = batch["y"]
+        if pred.shape != y.shape:
+            raise ValueError(f"prediction shape {pred.shape} != target shape {y.shape}")
+        diff = pred - y
+        value = float((diff**2).mean())
+        grad = 2.0 * diff / diff.size
+        return value, grad
+
+
+class DivNormLoss(Loss):
+    """Weighted Poisson-residual loss (the DivNorm objective, Eq. 5).
+
+    Expects the batch dict to contain:
+
+    * ``b`` — (N, 1, H, W) normalised Poisson right-hand sides,
+    * ``solid`` — (N, H, W) boolean solid masks,
+    * ``weights`` — (N, H, W) DivNorm cell weights ``w_i``.
+
+    The prediction is the (N, 1, H, W) pressure field.
+    """
+
+    def value_and_grad(self, pred: np.ndarray, batch: dict) -> tuple[float, np.ndarray]:
+        b = batch["b"]
+        solid = batch["solid"]
+        weights = batch["weights"]
+        if pred.shape != b.shape:
+            raise ValueError(f"prediction shape {pred.shape} != rhs shape {b.shape}")
+        n = pred.shape[0]
+        grad = np.zeros_like(pred)
+        total = 0.0
+        for i in range(n):
+            s = solid[i]
+            fluid = ~s
+            nf = max(int(fluid.sum()), 1)
+            r = np.where(fluid, b[i, 0] - apply_laplacian(pred[i, 0], s), 0.0)
+            wr = weights[i] * r
+            total += float((wr * r).sum()) / nf
+            grad[i, 0] = -2.0 * apply_laplacian(wr, s) / nf
+        return total / n, grad / n
+
+
+def divnorm_of_residual(
+    b: np.ndarray, p: np.ndarray, solid: np.ndarray, weights: np.ndarray
+) -> float:
+    """Weighted squared residual of a single Poisson solve (no gradient)."""
+    fluid = ~solid
+    r = np.where(fluid, b - apply_laplacian(p, solid), 0.0)
+    return float((weights * r * r).sum())

@@ -1,0 +1,105 @@
+"""Network container: a sequence of layers with optional residual blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer, Parameter
+
+__all__ = ["Residual", "Network"]
+
+
+class Residual(Layer):
+    """Wrap a sub-network ``f`` as ``y = f(x) + x``.
+
+    The wrapped layers must preserve the input shape (enforced lazily at
+    forward time), which is how the architecture spec restricts where
+    residual connections may be placed.
+    """
+
+    def __init__(self, layers: list[Layer]):
+        self.layers = layers
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        if out.shape != x.shape:
+            raise ValueError(
+                f"residual block changed shape {x.shape} -> {out.shape}"
+            )
+        return out + x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = grad
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g + grad
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        total = 0.0
+        shape = input_shape
+        for layer in self.layers:
+            total += layer.flops(shape)
+            shape = layer.output_shape(shape)
+        n = 1
+        for d in shape:
+            n *= d
+        return total + n  # the addition
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Residual({self.layers!r})"
+
+
+class Network(Layer):
+    """A plain sequential network (layers may themselves be Residual blocks)."""
+
+    def __init__(self, layers: list[Layer]):
+        self.layers = list(layers)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        g = grad
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        total = 0.0
+        shape = input_shape
+        for layer in self.layers:
+            total += layer.flops(shape)
+            shape = layer.output_shape(shape)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Network([{inner}])"

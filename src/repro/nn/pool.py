@@ -1,0 +1,122 @@
+"""Pooling and unpooling (upsampling) layers.
+
+These implement the paper's *pooling* transformation operation — "replace any
+two neighbour-neurons with a new neuron using max pooling" — in its grid form
+(2x2 windows), and the matching unpooling used to restore the spatial size so
+a transformed stage still maps (H, W) fields to (H, W) fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["MaxPool2d", "AvgPool2d", "Upsample2d"]
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling with window = stride = ``factor``."""
+
+    def __init__(self, factor: int = 2):
+        if factor < 2:
+            raise ValueError("pooling factor must be >= 2")
+        self.factor = factor
+        self._argmask: np.ndarray | None = None
+        self._in_shape: tuple[int, ...] | None = None
+
+    def _blocks(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        f = self.factor
+        return x.reshape(n, c, h // f, f, w // f, f)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        f = self.factor
+        if h % f or w % f:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by pool factor {f}")
+        blocks = self._blocks(x).transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // f, w // f, f * f)
+        out = blocks.max(axis=-1)
+        if training:
+            self._argmask = blocks == out[..., None]
+            self._in_shape = x.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._argmask is None or self._in_shape is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        n, c, h, w = self._in_shape
+        f = self.factor
+        # distribute gradient to the (first) max position of each window
+        mask = self._argmask
+        first = np.cumsum(mask, axis=-1) == 1
+        mask = mask & first
+        g = (grad[..., None] * mask).reshape(n, c, h // f, w // f, f, f)
+        return g.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        return (c, h // self.factor, w // self.factor)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        c, h, w = input_shape
+        return float(c * h * w)
+
+
+class AvgPool2d(Layer):
+    """Non-overlapping average pooling with window = stride = ``factor``."""
+
+    def __init__(self, factor: int = 2):
+        if factor < 2:
+            raise ValueError("pooling factor must be >= 2")
+        self.factor = factor
+        self._in_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        f = self.factor
+        if h % f or w % f:
+            raise ValueError(f"spatial dims {h}x{w} not divisible by pool factor {f}")
+        self._in_shape = x.shape
+        return x.reshape(n, c, h // f, f, w // f, f).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        f = self.factor
+        g = np.repeat(np.repeat(grad, f, axis=2), f, axis=3)
+        return g / (f * f)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        return (c, h // self.factor, w // self.factor)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        c, h, w = input_shape
+        return float(c * h * w)
+
+
+class Upsample2d(Layer):
+    """Nearest-neighbour upsampling (the unpooling of a transformed stage)."""
+
+    def __init__(self, factor: int = 2):
+        if factor < 2:
+            raise ValueError("upsample factor must be >= 2")
+        self.factor = factor
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        f = self.factor
+        return np.repeat(np.repeat(x, f, axis=2), f, axis=3)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = grad.shape
+        f = self.factor
+        return grad.reshape(n, c, h // f, f, w // f, f).sum(axis=(3, 5))
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        return (c, h * self.factor, w * self.factor)
+
+    def flops(self, input_shape: tuple[int, ...]) -> float:
+        c, h, w = input_shape
+        return float(c * h * w * self.factor * self.factor)

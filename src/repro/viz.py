@@ -1,0 +1,89 @@
+"""Lightweight visualisation of simulation fields (no plotting deps).
+
+The paper's output artefact is "a smoke dense matrix of a rendered smoke
+frame"; this module renders those matrices without external libraries:
+
+* :func:`to_ascii` — terminal rendering with density ramp characters;
+* :func:`to_pgm` / :func:`save_pgm` — portable graymap images any viewer
+  opens;
+* :func:`frame_strip` — several frames side by side (time-lapse strips);
+* :func:`render_velocity` — speed-magnitude field of a MAC grid.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["to_ascii", "to_pgm", "save_pgm", "frame_strip", "render_velocity"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def _normalise(field: np.ndarray, vmax: float | None = None) -> np.ndarray:
+    field = np.asarray(field, dtype=np.float64)
+    hi = float(vmax) if vmax is not None else float(field.max())
+    if hi <= 0:
+        return np.zeros_like(field)
+    return np.clip(field / hi, 0.0, 1.0)
+
+
+def to_ascii(field: np.ndarray, width: int = 48, vmax: float | None = None) -> str:
+    """Render a scalar field as an ASCII-art block (one char per cell).
+
+    The field is downsampled by striding to at most ``width`` columns; rows
+    are halved again because terminal glyphs are ~2x taller than wide.
+    """
+    norm = _normalise(field, vmax)
+    ny, nx = norm.shape
+    sx = max(1, int(np.ceil(nx / width)))
+    sy = sx * 2
+    sampled = norm[::sy, ::sx]
+    idx = np.minimum((sampled * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in idx)
+
+
+def to_pgm(field: np.ndarray, vmax: float | None = None) -> bytes:
+    """Encode a scalar field as a binary PGM (P5) image."""
+    norm = _normalise(field, vmax)
+    pixels = (norm * 255).astype(np.uint8)
+    ny, nx = pixels.shape
+    header = f"P5\n{nx} {ny}\n255\n".encode("ascii")
+    return header + pixels.tobytes()
+
+
+def save_pgm(field: np.ndarray, path: str | Path, vmax: float | None = None) -> Path:
+    """Write a scalar field to a ``.pgm`` file and return the path."""
+    path = Path(path)
+    if path.suffix != ".pgm":
+        path = path.with_suffix(".pgm")
+    path.write_bytes(to_pgm(field, vmax))
+    return path
+
+
+def frame_strip(frames: list[np.ndarray], gap: int = 2, vmax: float | None = None) -> np.ndarray:
+    """Concatenate frames horizontally (with a bright separator) for a
+    time-lapse strip; returns one array suitable for :func:`save_pgm`."""
+    if not frames:
+        raise ValueError("no frames")
+    shapes = {f.shape for f in frames}
+    if len(shapes) != 1:
+        raise ValueError(f"frames differ in shape: {shapes}")
+    hi = vmax if vmax is not None else max(float(f.max()) for f in frames) or 1.0
+    ny = frames[0].shape[0]
+    sep = np.full((ny, gap), hi)
+    parts: list[np.ndarray] = []
+    for i, f in enumerate(frames):
+        if i:
+            parts.append(sep)
+        parts.append(np.asarray(f, dtype=np.float64))
+    return np.concatenate(parts, axis=1)
+
+
+def render_velocity(grid) -> np.ndarray:
+    """Speed magnitude at cell centres of a MAC grid (solids zeroed)."""
+    uc, vc = grid.velocity_at_centers()
+    speed = np.sqrt(uc**2 + vc**2)
+    speed[grid.solid] = 0.0
+    return speed

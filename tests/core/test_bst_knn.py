@@ -1,0 +1,122 @@
+"""Tests for the BST and the KNN quality predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BinarySearchTree, QlossKNNPredictor
+
+
+class TestBinarySearchTree:
+    def test_from_pairs_sorted_items(self):
+        tree = BinarySearchTree.from_pairs([(3.0, "c"), (1.0, "a"), (2.0, "b")])
+        assert tree.items() == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+        assert len(tree) == 3
+
+    def test_balanced_height(self):
+        pairs = [(float(i), i) for i in range(127)]
+        tree = BinarySearchTree.from_pairs(pairs)
+        assert tree.height() <= 7  # log2(128) = 7
+
+    def test_insert_preserves_order(self):
+        tree = BinarySearchTree()
+        for k in [5.0, 2.0, 8.0, 1.0, 9.0]:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == [1.0, 2.0, 5.0, 8.0, 9.0]
+
+    def test_nearest_exact_hit(self):
+        tree = BinarySearchTree.from_pairs([(float(i), i) for i in range(10)])
+        out = tree.nearest(5.0, k=1)
+        assert out == [(5.0, 5)]
+
+    def test_nearest_k_window(self):
+        tree = BinarySearchTree.from_pairs([(float(i), i) for i in range(10)])
+        keys = sorted(k for k, _ in tree.nearest(5.2, k=4))
+        assert keys == [4.0, 5.0, 6.0, 7.0]
+
+    def test_nearest_at_extremes(self):
+        tree = BinarySearchTree.from_pairs([(float(i), i) for i in range(10)])
+        assert sorted(k for k, _ in tree.nearest(-100.0, k=3)) == [0.0, 1.0, 2.0]
+        assert sorted(k for k, _ in tree.nearest(100.0, k=3)) == [7.0, 8.0, 9.0]
+
+    def test_nearest_k_larger_than_size(self):
+        tree = BinarySearchTree.from_pairs([(1.0, "a"), (2.0, "b")])
+        assert len(tree.nearest(1.5, k=10)) == 2
+
+    def test_nearest_empty_tree(self):
+        assert BinarySearchTree().nearest(1.0, k=3) == []
+
+    def test_nearest_invalid_k(self):
+        with pytest.raises(ValueError):
+            BinarySearchTree().nearest(0.0, k=0)
+
+    @given(
+        keys=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60, unique=True),
+        query=st.floats(-1e6, 1e6),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nearest_matches_brute_force(self, keys, query, k):
+        tree = BinarySearchTree.from_pairs([(k_, k_) for k_ in keys])
+        got = {k_ for k_, _ in tree.nearest(query, k)}
+        want_sorted = sorted(keys, key=lambda x: (abs(x - query), x))
+        want = set(want_sorted[: min(k, len(keys))])
+        # distance ties may legally resolve either way; compare distances
+        got_d = sorted(abs(x - query) for x in got)
+        want_d = sorted(abs(x - query) for x in want)
+        assert got_d == pytest.approx(want_d)
+
+    @given(keys=st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_insert_then_items_sorted(self, keys):
+        tree = BinarySearchTree()
+        for k_ in keys:
+            tree.insert(k_, None)
+        items = [k for k, _ in tree.items()]
+        assert items == sorted(items)
+        assert len(tree) == len(keys)
+
+
+class TestQlossKNNPredictor:
+    def test_predict_mean_of_neighbours(self):
+        knn = QlossKNNPredictor(k=4)
+        knn.add_database("m", [(101.0, 0.09), (112.0, 0.11), (105.0, 0.10), (109.0, 0.11), (500.0, 0.9)])
+        # the paper's own worked example: predict for 108 -> 0.1025
+        assert knn.predict("m", 108.0) == pytest.approx(0.1025)
+
+    def test_k_one_returns_nearest_value(self):
+        knn = QlossKNNPredictor(k=1)
+        knn.add_database("m", [(1.0, 0.1), (10.0, 0.5)])
+        assert knn.predict("m", 2.0) == pytest.approx(0.1)
+
+    def test_unknown_model_raises(self):
+        knn = QlossKNNPredictor()
+        with pytest.raises(KeyError):
+            knn.predict("missing", 1.0)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            QlossKNNPredictor().add_database("m", [])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            QlossKNNPredictor(k=0)
+
+    def test_add_observation_extends(self):
+        knn = QlossKNNPredictor(k=2)
+        knn.add_observation("m", 1.0, 0.1)
+        knn.add_observation("m", 2.0, 0.3)
+        assert knn.database_size("m") == 2
+        assert knn.predict("m", 1.5) == pytest.approx(0.2)
+
+    def test_models_listing(self):
+        knn = QlossKNNPredictor()
+        knn.add_database("b", [(1.0, 0.1)])
+        knn.add_database("a", [(1.0, 0.1)])
+        assert knn.models() == ["a", "b"]
+
+    def test_monotone_database_predicts_monotone(self):
+        knn = QlossKNNPredictor(k=2)
+        knn.add_database("m", [(float(i), i * 0.01) for i in range(20)])
+        assert knn.predict("m", 2.0) < knn.predict("m", 15.0)

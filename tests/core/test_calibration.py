@@ -1,0 +1,85 @@
+"""Tests for the calibrated-MLP selection wrapper and scheduler hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveController, QlossKNNPredictor, SelectedModel
+from repro.core.framework import _CalibratedMLP
+from repro.data import InputProblem
+from repro.fluid import FluidSimulator
+from repro.models import TrainedModel, tompson_arch
+
+
+class FakeMLP:
+    def __init__(self, value):
+        self.value = value
+
+    def predict(self, spec, q, t):
+        return self.value
+
+
+class TestCalibratedMLP:
+    def test_blends_with_empirical(self):
+        arch = tompson_arch(4)
+        arch.name = "m"
+        cal = _CalibratedMLP(FakeMLP(1.0), {"m": 0.0}, weight=0.5)
+        assert cal.predict(arch, 0.1, 1.0) == pytest.approx(0.5)
+
+    def test_passthrough_without_empirical(self):
+        arch = tompson_arch(4)
+        arch.name = "unknown"
+        cal = _CalibratedMLP(FakeMLP(0.7), {"m": 0.0})
+        assert cal.predict(arch, 0.1, 1.0) == pytest.approx(0.7)
+
+    def test_weight_extremes(self):
+        arch = tompson_arch(4)
+        arch.name = "m"
+        trust_mlp = _CalibratedMLP(FakeMLP(0.9), {"m": 0.1}, weight=1.0)
+        trust_emp = _CalibratedMLP(FakeMLP(0.9), {"m": 0.1}, weight=0.0)
+        assert trust_mlp.predict(arch, 0, 0) == pytest.approx(0.9)
+        assert trust_emp.predict(arch, 0, 0) == pytest.approx(0.1)
+
+
+def make_selected(name, seconds, prob, rng=0):
+    arch = tompson_arch(4)
+    arch.name = name
+    model = TrainedModel(spec=arch, network=arch.build(rng=rng))
+    return SelectedModel(model=model, success_prob=prob, model_seconds=seconds, expected_seconds=seconds)
+
+
+def fixed_knn(entries):
+    knn = QlossKNNPredictor(k=2)
+    for name, q in entries.items():
+        knn.add_database(name, [(0.0, q), (1e12, q)])
+    return knn
+
+
+class TestDownshiftHysteresis:
+    def run_ctl(self, q_pred, q_req, margin):
+        cands = [make_selected("fast", 1.0, 0.5), make_selected("slow", 2.0, 0.9, rng=1)]
+        knn = fixed_knn({"fast": q_pred, "slow": q_pred})
+        ctl = AdaptiveController(
+            cands, knn, q_req, 16, downshift_margin=margin
+        )
+        grid, source = InputProblem(16, 0).materialize()
+        FluidSimulator(grid, ctl.initial_solver(), source, controller=ctl).run(16)
+        return ctl
+
+    def test_marginal_headroom_does_not_downshift(self):
+        # predicted 0.8*q: inside the 3*tolerance margin -> stay accurate
+        ctl = self.run_ctl(q_pred=0.08, q_req=0.1, margin=3.0)
+        assert ctl.current.name == "slow"
+        assert ctl.stats.switches == []
+
+    def test_large_headroom_downshifts(self):
+        ctl = self.run_ctl(q_pred=0.001, q_req=0.1, margin=3.0)
+        assert any(s.to_model == "fast" for s in ctl.stats.switches)
+
+    def test_zero_margin_downshifts_eagerly(self):
+        ctl = self.run_ctl(q_pred=0.08, q_req=0.1, margin=0.0)
+        assert any(s.to_model == "fast" for s in ctl.stats.switches)
+
+    def test_start_tie_break_prefers_accurate(self):
+        cands = [make_selected("fast", 1.0, 0.9), make_selected("slow", 2.0, 0.9, rng=1)]
+        ctl = AdaptiveController(cands, fixed_knn({"fast": 0.1, "slow": 0.1}), 0.1, 16)
+        assert ctl.current.name == "slow"

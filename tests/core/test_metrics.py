@@ -1,0 +1,120 @@
+"""Tests for quality metrics and correlation coefficients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    correlation_strength,
+    cum_divnorm,
+    pearson_r,
+    quality_loss,
+    spearman_r,
+)
+
+
+class TestQualityLoss:
+    def test_zero_for_identical(self):
+        rho = np.random.default_rng(0).random((8, 8))
+        assert quality_loss(rho, rho) == 0.0
+
+    def test_positive_for_different(self):
+        rho = np.random.default_rng(0).random((8, 8))
+        assert quality_loss(rho, rho + 0.1) > 0
+
+    def test_relative_normalisation(self):
+        rho = np.full((4, 4), 2.0)
+        approx = np.full((4, 4), 2.2)
+        assert quality_loss(rho, approx) == pytest.approx(0.1)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        rho = rng.random((8, 8)) + 0.5
+        approx = rho + rng.random((8, 8)) * 0.1
+        assert quality_loss(rho, approx) == pytest.approx(quality_loss(10 * rho, 10 * approx))
+
+    def test_empty_reference_guard(self):
+        rho = np.zeros((4, 4))
+        approx = np.full((4, 4), 0.5)
+        assert quality_loss(rho, approx) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            quality_loss(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    def test_symmetric_in_error_sign(self):
+        rho = np.full((4, 4), 1.0)
+        assert quality_loss(rho, rho + 0.2) == pytest.approx(quality_loss(rho, rho - 0.2))
+
+
+class TestCumDivnorm:
+    def test_cumulative_sum(self):
+        np.testing.assert_allclose(cum_divnorm([1.0, 2.0, 3.0]), [1.0, 3.0, 6.0])
+
+    def test_monotone_for_nonnegative(self):
+        c = cum_divnorm(np.abs(np.random.default_rng(0).standard_normal(20)))
+        assert (np.diff(c) >= 0).all()
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_r(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_r(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert pearson_r(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(pearson_r(rng.standard_normal(5000), rng.standard_normal(5000))) < 0.05
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson_r(np.array([1.0]), np.array([2.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_r(np.arange(3.0), np.arange(4.0))
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal(20), rng.standard_normal(20)
+        assert -1.0 - 1e-12 <= pearson_r(x, y) <= 1.0 + 1e-12
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.arange(1.0, 11.0)
+        assert spearman_r(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        x = np.arange(10.0)
+        assert spearman_r(x, x[::-1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        x = np.array([1.0, 2.0, 2.0, 3.0])
+        y = np.array([1.0, 2.0, 2.0, 3.0])
+        assert spearman_r(x, y) == pytest.approx(1.0)
+
+    def test_robust_to_outliers_vs_pearson(self):
+        x = np.arange(20.0)
+        y = x.copy()
+        y[-1] = 1e6  # preserves order, wrecks linearity
+        assert spearman_r(x, y) == pytest.approx(1.0)
+        assert pearson_r(x, y) < spearman_r(x, y)
+
+
+class TestCorrelationStrength:
+    @pytest.mark.parametrize(
+        "r,label",
+        [(0.05, "none"), (0.2, "weak"), (0.4, "medium"), (0.61, "strong"), (-0.79, "strong")],
+    )
+    def test_bands(self, r, label):
+        assert correlation_strength(r) == label

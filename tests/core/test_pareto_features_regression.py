@@ -1,0 +1,177 @@
+"""Tests for Pareto selection, feature vectors and trend regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FEATURE_DIM,
+    FeatureScaler,
+    LinearTrend,
+    build_feature_vector,
+    fit_linear_trend,
+    pareto_front,
+    pareto_select,
+    predict_final_cumdivnorm,
+)
+from repro.models import tompson_arch
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        np.testing.assert_array_equal(pareto_front([[1.0, 1.0]]), [0])
+
+    def test_dominated_point_removed(self):
+        idx = pareto_front([[1.0, 1.0], [2.0, 2.0]])
+        np.testing.assert_array_equal(idx, [0])
+
+    def test_trade_off_points_kept(self):
+        idx = pareto_front([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        assert len(idx) == 3
+
+    def test_duplicate_points_all_kept(self):
+        idx = pareto_front([[1.0, 1.0], [1.0, 1.0]])
+        assert len(idx) == 2  # neither strictly dominates the other
+
+    def test_sorted_by_first_objective(self):
+        idx = pareto_front([[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]])
+        np.testing.assert_array_equal(idx, [1, 2, 0])
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            pareto_front(np.zeros(3))
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_front_is_mutually_nondominated(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((30, 2))
+        idx = pareto_front(pts)
+        front = pts[idx]
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i == j:
+                    continue
+                dominates = (front[j] <= front[i]).all() and (front[j] < front[i]).any()
+                assert not dominates
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_every_excluded_point_is_dominated(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((25, 2))
+        idx = set(pareto_front(pts).tolist())
+        for i in range(len(pts)):
+            if i in idx:
+                continue
+            dominated = any(
+                (pts[j] <= pts[i]).all() and (pts[j] < pts[i]).any() for j in range(len(pts))
+            )
+            assert dominated
+
+
+class TestParetoSelect:
+    def test_returns_items(self):
+        items = ["slow-good", "mid", "fast-bad", "dominated"]
+        out = pareto_select(items, [3.0, 2.0, 1.0, 3.0], [1.0, 2.0, 3.0, 3.0])
+        assert out == ["fast-bad", "mid", "slow-good"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_select(["a"], [1.0, 2.0], [1.0])
+
+    def test_empty(self):
+        assert pareto_select([], [], []) == []
+
+
+class TestFeatureVector:
+    def test_dimension(self):
+        f = build_feature_vector(0.01, 5.0, tompson_arch())
+        assert f.shape == (FEATURE_DIM,)
+        assert FEATURE_DIM == 48
+
+    def test_leading_components(self):
+        arch = tompson_arch(channels=7)
+        f = build_feature_vector(0.02, 9.0, arch)
+        assert f[0] == 0.02 and f[1] == 9.0 and f[2] == 5.0
+
+    def test_architecture_blocks(self):
+        arch = tompson_arch(channels=7)
+        f = build_feature_vector(0.0, 0.0, arch)
+        ker = f[3:12]
+        chn = f[12:21]
+        assert (ker[:5] == 3).all() and (ker[5:] == 0).all()
+        assert (chn[:5] == 7).all()
+
+    def test_distinguishes_architectures(self):
+        a = build_feature_vector(0.01, 1.0, tompson_arch(channels=8))
+        b = build_feature_vector(0.01, 1.0, tompson_arch(channels=4))
+        assert not np.array_equal(a, b)
+
+
+class TestFeatureScaler:
+    def test_standardises(self):
+        rng = np.random.default_rng(0)
+        feats = rng.random((50, FEATURE_DIM)) * 10 + 3
+        scaler = FeatureScaler().fit(feats)
+        z = scaler.transform(feats)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_columns_pass_through(self):
+        feats = np.ones((10, FEATURE_DIM))
+        scaler = FeatureScaler().fit(feats)
+        z = scaler.transform(feats)
+        assert np.isfinite(z).all()
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            FeatureScaler().transform(np.ones((1, FEATURE_DIM)))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureScaler().fit(np.ones((5, 7)))
+
+
+class TestLinearTrend:
+    def test_exact_line_recovered(self):
+        steps = np.arange(5.0)
+        trend = fit_linear_trend(steps, 2.0 * steps + 1.0)
+        assert trend.slope == pytest.approx(2.0)
+        assert trend.intercept == pytest.approx(1.0)
+        assert trend(10.0) == pytest.approx(21.0)
+
+    def test_least_squares_on_noise(self):
+        rng = np.random.default_rng(0)
+        steps = np.arange(50.0)
+        vals = 3.0 * steps + rng.standard_normal(50) * 0.01
+        trend = fit_linear_trend(steps, vals)
+        assert trend.slope == pytest.approx(3.0, abs=0.01)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear_trend(np.array([1.0]), np.array([2.0]))
+
+
+class TestPredictFinalCumdivnorm:
+    def test_linear_history_predicts_exactly(self):
+        history = 2.0 * np.arange(10.0) + 5.0
+        pred = predict_final_cumdivnorm(history, final_step=50)
+        assert pred == pytest.approx(2.0 * 49 + 5.0)
+
+    def test_uses_only_recent_window(self):
+        # early garbage must not affect the prediction
+        history = np.concatenate([np.full(5, 100.0), 2.0 * np.arange(5, 15) + 1.0])
+        pred = predict_final_cumdivnorm(history, final_step=30)
+        assert pred == pytest.approx(2.0 * 29 + 1.0)
+
+    def test_never_below_current_value(self):
+        # a decreasing tail cannot predict less than what already accumulated
+        history = np.array([0.0, 10.0, 20.0, 21.0, 21.5, 21.6, 21.6])
+        pred = predict_final_cumdivnorm(history, final_step=100)
+        assert pred >= history[-1]
+
+    def test_requires_full_interval(self):
+        with pytest.raises(ValueError):
+            predict_final_cumdivnorm(np.arange(3.0), final_step=10, check_interval=5)

@@ -1,0 +1,178 @@
+"""Hypothesis property tests over the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BinarySearchTree,
+    expected_total_time,
+    pareto_front,
+    pearson_r,
+    quality_loss,
+    spearman_r,
+)
+from repro.core.regression import fit_linear_trend
+from repro.models import ArchSpec, StageSpec
+
+
+stage_strategy = st.builds(
+    StageSpec,
+    kernel=st.sampled_from([1, 3, 5]),
+    channels=st.integers(1, 16),
+    pool=st.sampled_from([1, 2]),
+    unpool=st.just(1),
+    dropout=st.floats(0.0, 0.5, exclude_max=True),
+    residual=st.booleans(),
+).map(lambda s: StageSpec(s.kernel, s.channels, s.pool, s.pool, s.dropout, s.residual))
+
+arch_strategy = st.builds(
+    ArchSpec,
+    stages=st.lists(stage_strategy, min_size=1, max_size=9),
+    in_channels=st.just(2),
+    name=st.text(alphabet="abcdef", min_size=1, max_size=8),
+)
+
+
+class TestArchSpecProperties:
+    @given(arch=arch_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_serialisation_roundtrip(self, arch):
+        assert ArchSpec.from_dict(arch.to_dict()) == arch
+
+    @given(arch=arch_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_feature_vectors_always_padded(self, arch):
+        vecs = arch.architecture_vectors()
+        for v in vecs.values():
+            assert v.shape == (9,)
+            assert (v[arch.n_stages :] == 0).all()
+
+    @given(arch=arch_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_built_network_maps_grid_to_grid(self, arch):
+        net = arch.build(rng=0)
+        x = np.zeros((1, 2, 8, 8))
+        assert net.forward(x).shape == (1, 1, 8, 8)
+
+
+class TestBSTProperties:
+    @given(keys=st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=200, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_build_height_logarithmic(self, keys):
+        tree = BinarySearchTree.from_pairs([(k, None) for k in keys])
+        assert tree.height() <= int(np.ceil(np.log2(len(keys) + 1)))
+
+    @given(
+        keys=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=50, unique=True),
+        q=st.floats(-1e3, 1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_one_is_global_minimum_distance(self, keys, q):
+        tree = BinarySearchTree.from_pairs([(k, None) for k in keys])
+        (key, _), = tree.nearest(q, 1)
+        assert abs(key - q) == min(abs(k - q) for k in keys)
+
+
+class TestMetricProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_quality_loss_nonnegative_and_zero_iff_equal(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random((6, 6))
+        b = rng.random((6, 6))
+        assert quality_loss(a, a) == 0.0
+        assert quality_loss(a, b) >= 0.0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_quality_loss_triangleish(self, seed):
+        # qloss(a, c) <= qloss(a, b) + qloss(a, b->c path) via shared scale
+        rng = np.random.default_rng(seed)
+        a = rng.random((6, 6)) + 0.5
+        b = rng.random((6, 6))
+        c = rng.random((6, 6))
+        assert quality_loss(a, c) <= quality_loss(a, b) + np.abs(b - c).mean() / np.abs(a).mean() + 1e-12
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_correlations_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(15)
+        y = rng.standard_normal(15)
+        assert pearson_r(x, y) == pytest.approx(pearson_r(y, x))
+        assert spearman_r(x, y) == pytest.approx(spearman_r(y, x))
+
+    @given(
+        seed=st.integers(0, 10_000),
+        a=st.floats(0.1, 10.0),
+        b=st.floats(-5.0, 5.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_correlations_invariant_to_affine_maps(self, seed, a, b):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(20)
+        y = rng.standard_normal(20)
+        assert pearson_r(a * x + b, y) == pytest.approx(pearson_r(x, y), abs=1e-9)
+        assert spearman_r(a * x + b, y) == pytest.approx(spearman_r(x, y), abs=1e-9)
+
+
+class TestParetoProperties:
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_front_idempotent(self, seed, n):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, 2))
+        idx = pareto_front(pts)
+        again = pareto_front(pts[idx])
+        assert len(again) == len(idx)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_adding_dominated_point_leaves_front_unchanged(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((15, 2))
+        idx = pareto_front(pts)
+        front = {tuple(p) for p in pts[idx]}
+        dominated = pts[idx[0]] + 1.0  # strictly worse than a front member
+        idx2 = pareto_front(np.vstack([pts, dominated]))
+        front2 = {tuple(p) for p in np.vstack([pts, dominated])[idx2]}
+        assert front == front2
+
+
+class TestSelectionProperties:
+    @given(
+        r=st.floats(0.0, 1.0),
+        tm=st.floats(0.001, 10.0),
+        tx=st.floats(10.0, 1000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_expected_time_between_extremes(self, r, tm, tx):
+        e = expected_total_time(r, tm, tx)
+        assert min(tm, tx) - 1e-9 <= e <= max(tm, tx) + 1e-9
+
+    @given(
+        tm=st.floats(0.001, 10.0),
+        tx=st.floats(10.0, 1000.0),
+        r1=st.floats(0.0, 1.0),
+        r2=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_expected_time_monotone_in_probability(self, tm, tx, r1, r2):
+        lo, hi = sorted([r1, r2])
+        assert expected_total_time(hi, tm, tx) <= expected_total_time(lo, tm, tx) + 1e-9
+
+
+class TestRegressionProperties:
+    @given(
+        slope=st.floats(-10, 10),
+        intercept=st.floats(-10, 10),
+        n=st.integers(2, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_recovery_of_lines(self, slope, intercept, n):
+        xs = np.arange(float(n))
+        trend = fit_linear_trend(xs, slope * xs + intercept)
+        assert trend.slope == pytest.approx(slope, abs=1e-6)
+        assert trend.intercept == pytest.approx(intercept, abs=1e-6)

@@ -1,0 +1,171 @@
+"""Tests for execution records, the success-rate MLP and Eq. 8 selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExecutionRecord,
+    ReferenceCache,
+    SuccessRateMLP,
+    build_success_mlp,
+    collect_execution_records,
+    expected_total_time,
+    make_training_samples,
+    select_runtime_models,
+    success_rate,
+    MLP_TOPOLOGIES,
+)
+from repro.data import generate_problems
+from repro.models import TrainedModel, tompson_arch
+
+
+def fake_records(name="m", n=20, q_spread=0.02, t=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        ExecutionRecord(
+            model_name=name,
+            problem_seed=i,
+            grid_size=16,
+            quality_loss=float(rng.uniform(0, q_spread)),
+            execution_seconds=float(t * rng.uniform(0.8, 1.2)),
+            cumdivnorm_final=float(rng.uniform(0, 100)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestExecutionRecord:
+    def test_meets_requirement(self):
+        r = ExecutionRecord("m", 0, 16, 0.01, 1.0, 5.0)
+        assert r.meets(q=0.02, t=2.0)
+        assert not r.meets(q=0.005, t=2.0)
+        assert not r.meets(q=0.02, t=0.5)
+
+    def test_success_rate_bounds(self):
+        recs = fake_records()
+        assert success_rate(recs, q=1e9, t=1e9) == 1.0
+        assert success_rate(recs, q=-1.0, t=1e9) == 0.0
+
+    def test_success_rate_empty(self):
+        with pytest.raises(ValueError):
+            success_rate([], 1.0, 1.0)
+
+
+class TestReferenceCacheAndCollection:
+    def test_reference_cached(self):
+        cache = ReferenceCache(n_steps=3)
+        probs = generate_problems(1, 16, split="eval")
+        a = cache.reference(probs[0])
+        b = cache.reference(probs[0])
+        assert a is b
+
+    def test_collect_records_structure(self):
+        arch = tompson_arch(4)
+        arch.name = "t4"
+        model = TrainedModel(spec=arch, network=arch.build(rng=0))
+        probs = generate_problems(2, 16, split="eval")
+        cache = ReferenceCache(n_steps=3)
+        recs = collect_execution_records([model], probs, cache, passes=1)
+        assert len(recs) == 2
+        for r in recs:
+            assert r.model_name == "t4"
+            assert r.quality_loss >= 0
+            assert r.execution_seconds > 0
+            assert r.cumdivnorm_final >= 0
+
+
+class TestSuccessMLP:
+    def test_all_topologies_build(self):
+        for name in MLP_TOPOLOGIES:
+            net = build_success_mlp(name, rng=0)
+            out = net.forward(np.zeros((2, 48)))
+            assert out.shape == (2, 1)
+            assert (0 <= out).all() and (out <= 1).all()
+
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            build_success_mlp("mlp9")
+
+    def test_topology_depths_ordered(self):
+        widths = [len(MLP_TOPOLOGIES[f"mlp{i}"]) for i in range(1, 6)]
+        assert widths == sorted(widths)
+
+    def test_sample_generation_labels_in_unit_interval(self):
+        arch = tompson_arch(4)
+        arch.name = "m"
+        feats, labels = make_training_samples(fake_records(), {"m": arch}, 32, rng=0)
+        assert feats.shape == (32, 48)
+        assert labels.shape == (32, 1)
+        assert (labels >= 0).all() and (labels <= 1).all()
+
+    def test_sample_generation_missing_arch(self):
+        with pytest.raises(KeyError):
+            make_training_samples(fake_records(), {}, 8, rng=0)
+
+    def test_fit_learns_requirement_sensitivity(self):
+        """A trained MLP must predict higher success for looser requirements."""
+        arch = tompson_arch(4)
+        arch.name = "m"
+        recs = fake_records(n=60, q_spread=0.02, t=1.0)
+        mlp = SuccessRateMLP.fit(recs, {"m": arch}, epochs=200, n_samples_per_model=128, rng=0)
+        tight = mlp.predict(arch, q=0.001, t=0.5)
+        loose = mlp.predict(arch, q=0.05, t=2.0)
+        assert loose > tight
+
+    def test_predict_many(self):
+        arch = tompson_arch(4)
+        arch.name = "m"
+        recs = fake_records(n=30)
+        mlp = SuccessRateMLP.fit(recs, {"m": arch}, epochs=30, rng=0)
+        model = TrainedModel(spec=arch, network=arch.build(rng=0))
+        out = mlp.predict_many([model], 0.01, 1.0)
+        assert set(out) == {"m"}
+
+
+class TestSelection:
+    def test_expected_total_time(self):
+        assert expected_total_time(1.0, 2.0, 100.0) == 2.0
+        assert expected_total_time(0.0, 2.0, 100.0) == 100.0
+        assert expected_total_time(0.5, 2.0, 100.0) == 51.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            expected_total_time(1.5, 1.0, 1.0)
+
+    def _mlp_and_models(self):
+        archs = []
+        models = []
+        for i, ch in enumerate((4, 6)):
+            arch = tompson_arch(ch)
+            arch.name = f"m{ch}"
+            archs.append(arch)
+            models.append(TrainedModel(spec=arch, network=arch.build(rng=i)))
+        recs = fake_records("m4", t=1.0, seed=1) + fake_records("m6", t=2.0, seed=2)
+        mlp = SuccessRateMLP.fit(recs, {a.name: a for a in archs}, epochs=40, rng=0)
+        return models, mlp
+
+    def test_select_respects_budget(self):
+        models, mlp = self._mlp_and_models()
+        times = {"m4": 1.0, "m6": 2.0}
+        none = select_runtime_models(models, times, mlp, q=0.01, t=0.0001, exact_seconds=100.0)
+        assert none == []
+        some = select_runtime_models(models, times, mlp, q=0.05, t=1e6, exact_seconds=100.0)
+        assert 1 <= len(some) <= 2
+
+    def test_select_caps_count(self):
+        models, mlp = self._mlp_and_models()
+        times = {"m4": 1.0, "m6": 2.0}
+        out = select_runtime_models(models, times, mlp, 0.05, 1e6, 100.0, max_models=1)
+        assert len(out) == 1
+
+    def test_select_sorted_by_probability(self):
+        models, mlp = self._mlp_and_models()
+        times = {"m4": 1.0, "m6": 2.0}
+        out = select_runtime_models(models, times, mlp, 0.05, 1e6, 100.0)
+        probs = [s.success_prob for s in out]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_select_missing_time(self):
+        models, mlp = self._mlp_and_models()
+        with pytest.raises(KeyError):
+            select_runtime_models(models, {}, mlp, 0.05, 1.0, 100.0)

@@ -1,0 +1,146 @@
+"""Tests for the accurate-model search and the construction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstructionConfig,
+    RBFSurrogate,
+    SearchConfig,
+    construct_model_family,
+    morph,
+    search_accurate_models,
+)
+from repro.data import collect_training_frames, generate_problems
+from repro.models import TrainedModel, tompson_arch
+from repro.models.arch import MAX_STAGES, ArchSpec, StageSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    probs = generate_problems(2, 16, split="train")
+    return collect_training_frames(probs, n_steps=4)
+
+
+class TestMorph:
+    def test_produces_valid_spec(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            child = morph(tompson_arch(6), rng)
+            child.validate()
+
+    def test_changes_something(self):
+        rng = np.random.default_rng(1)
+        base = tompson_arch(6)
+        changed = 0
+        for _ in range(10):
+            child = morph(base, rng)
+            if child.to_dict()["stages"] != base.to_dict()["stages"]:
+                changed += 1
+        assert changed == 10
+
+    def test_respects_max_stages(self):
+        rng = np.random.default_rng(2)
+        full = ArchSpec([StageSpec(channels=4) for _ in range(MAX_STAGES)])
+        for _ in range(20):
+            child = morph(full, rng)
+            assert child.n_stages <= MAX_STAGES
+
+    def test_respects_max_channels(self):
+        rng = np.random.default_rng(3)
+        spec = tompson_arch(30)
+        for _ in range(20):
+            child = morph(spec, rng, max_channels=32)
+            assert all(s.channels <= 32 for s in child.stages)
+
+
+class TestRBFSurrogate:
+    def test_unfitted_returns_infinite_distance(self):
+        mean, dist = RBFSurrogate().predict(tompson_arch(4))
+        assert dist == float("inf")
+
+    def test_interpolates_observed_point(self):
+        s = RBFSurrogate()
+        arch = tompson_arch(4)
+        s.observe(arch, 0.5)
+        mean, dist = s.predict(arch)
+        assert mean == pytest.approx(0.5)
+        assert dist == pytest.approx(0.0)
+
+    def test_weights_favour_nearby(self):
+        s = RBFSurrogate()
+        a4, a16 = tompson_arch(4), tompson_arch(16)
+        s.observe(a4, 0.1)
+        s.observe(a16, 0.9)
+        mean5, _ = s.predict(tompson_arch(5))
+        mean15, _ = s.predict(tompson_arch(15))
+        assert mean5 < mean15
+
+
+class TestSearch:
+    def test_returns_trained_sorted_models(self, tiny_data):
+        cfg = SearchConfig(
+            iterations=1, proposals_per_iteration=2, evaluations_per_iteration=1,
+            train_epochs=2, keep=2,
+        )
+        out = search_accurate_models(tompson_arch(4), tiny_data, cfg, rng=0)
+        assert 1 <= len(out) <= 2
+        losses = [m.history.final_loss for m in out]
+        assert losses == sorted(losses)
+        assert out[0].spec.name == "auto1"
+
+    def test_keeps_at_most_keep(self, tiny_data):
+        cfg = SearchConfig(
+            iterations=2, proposals_per_iteration=3, evaluations_per_iteration=2,
+            train_epochs=1, keep=3,
+        )
+        out = search_accurate_models(tompson_arch(4), tiny_data, cfg, rng=1)
+        assert len(out) <= 3
+
+
+class TestConstruction:
+    def base(self, tiny_data):
+        arch = tompson_arch(6)
+        arch.name = "tompson"
+        net = arch.build(rng=0)
+        return TrainedModel(spec=arch, network=net)
+
+    def test_family_counts(self, tiny_data):
+        cfg = ConstructionConfig(
+            n_shallow=2, narrows_per_model=2, n_dropout=3, fine_tune_epochs=0
+        )
+        family = construct_model_family(self.base(tiny_data), tiny_data, cfg, rng=0)
+        # 2 shallow + 4 narrow = 6; + 6 pooled = 12; + 3 dropout = 15
+        assert len(family) == 15
+
+    def test_paper_scale_counts(self, tiny_data):
+        cfg = ConstructionConfig(fine_tune_epochs=0)  # paper defaults 5/10/18
+        family = construct_model_family(self.base(tiny_data), tiny_data, cfg, rng=0)
+        # 5 + 50 = 55; + 55 pooled = 110; + 18 dropout = 128
+        assert len(family) == 128
+
+    def test_names_unique(self, tiny_data):
+        cfg = ConstructionConfig(n_shallow=3, narrows_per_model=4, n_dropout=5, fine_tune_epochs=0)
+        family = construct_model_family(self.base(tiny_data), tiny_data, cfg, rng=0)
+        names = [m.name for m in family]
+        assert len(set(names)) == len(names)
+
+    def test_all_models_runnable(self, tiny_data):
+        cfg = ConstructionConfig(n_shallow=2, narrows_per_model=1, n_dropout=2, fine_tune_epochs=0)
+        family = construct_model_family(self.base(tiny_data), tiny_data, cfg, rng=0)
+        x = np.random.default_rng(0).standard_normal((1, 2, 16, 16))
+        for model in family:
+            assert model.network.forward(x).shape == (1, 1, 16, 16)
+
+    def test_fine_tune_records_history(self, tiny_data):
+        cfg = ConstructionConfig(n_shallow=1, narrows_per_model=1, n_dropout=0, fine_tune_epochs=2)
+        family = construct_model_family(self.base(tiny_data), tiny_data, cfg, rng=0)
+        assert all(m.history is not None for m in family)
+
+    def test_family_spans_cost_spectrum(self, tiny_data):
+        cfg = ConstructionConfig(n_shallow=2, narrows_per_model=2, n_dropout=2, fine_tune_epochs=0)
+        base = self.base(tiny_data)
+        family = construct_model_family(base, tiny_data, cfg, rng=0)
+        base_flops = base.network.flops((2, 16, 16))
+        flops = [m.network.flops((2, 16, 16)) for m in family]
+        assert min(flops) < base_flops  # transformations made cheaper models

@@ -1,0 +1,165 @@
+"""Tests for the four model-transformation operations."""
+
+import numpy as np
+import pytest
+
+from repro.core import dropout, inherit_matching_weights, narrow, pooling, shallow
+from repro.models import TrainedModel, tompson_arch
+
+
+def make_model(channels=6, rng=0):
+    arch = tompson_arch(channels=channels)
+    arch.name = "base"
+    return TrainedModel(spec=arch, network=arch.build(rng=rng))
+
+
+def forward_of(model, x):
+    return model.network.forward(x)
+
+
+X = np.random.default_rng(42).standard_normal((2, 2, 8, 8))
+
+
+class TestShallow:
+    def test_removes_one_stage(self):
+        child = shallow(make_model(), stage=2, rng=0)
+        assert child.spec.n_stages == 4
+        assert "shallow2" in child.name
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            shallow(make_model(), stage=9)
+
+    def test_single_stage_protected(self):
+        from repro.models import ArchSpec, StageSpec
+
+        one = ArchSpec([StageSpec(channels=4)], name="one")
+        model = TrainedModel(spec=one, network=one.build(rng=0))
+        with pytest.raises(ValueError):
+            shallow(model, 0)
+
+    def test_weights_inherited_before_cut(self):
+        parent = make_model()
+        child = shallow(parent, stage=3, rng=1)
+        p_convs = parent.spec.stage_convs(parent.network)
+        c_convs = child.spec.stage_convs(child.network)
+        np.testing.assert_array_equal(c_convs[0].weight.value, p_convs[0].weight.value)
+        np.testing.assert_array_equal(c_convs[2].weight.value, p_convs[2].weight.value)
+
+    def test_child_runs(self):
+        child = shallow(make_model(), stage=1, rng=0)
+        assert forward_of(child, X).shape == (2, 1, 8, 8)
+
+    def test_child_is_faster(self):
+        parent = make_model()
+        child = shallow(parent, stage=1, rng=0)
+        assert child.network.flops((2, 16, 16)) < parent.network.flops((2, 16, 16))
+
+    def test_parent_untouched(self):
+        parent = make_model()
+        before = [p.value.copy() for p in parent.network.parameters()]
+        shallow(parent, stage=0, rng=0)
+        for p, b in zip(parent.network.parameters(), before):
+            np.testing.assert_array_equal(p.value, b)
+
+
+class TestNarrow:
+    def test_reduces_channels(self):
+        child = narrow(make_model(channels=10), stage=2, rng=0)
+        assert child.spec.stages[2].channels == 9  # r = |L|/10 = 1
+
+    def test_explicit_r(self):
+        child = narrow(make_model(channels=10), stage=2, r=4, rng=0)
+        assert child.spec.stages[2].channels == 6
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            narrow(make_model(channels=4), stage=0, r=4)
+
+    def test_weights_sliced_exactly(self):
+        """The narrowed model must compute the parent function restricted to
+        the kept channels: check by zeroing the dropped channel's influence."""
+        parent = make_model(channels=6, rng=3)
+        child = narrow(parent, stage=1, r=1, rng=7)
+        keep = child.metadata["kept"]
+        p_convs = parent.spec.stage_convs(parent.network)
+        c_convs = child.spec.stage_convs(child.network)
+        np.testing.assert_array_equal(c_convs[1].weight.value, p_convs[1].weight.value[keep])
+        np.testing.assert_array_equal(c_convs[2].weight.value, p_convs[2].weight.value[:, keep])
+
+    def test_child_runs_and_is_cheaper(self):
+        parent = make_model(channels=8)
+        child = narrow(parent, stage=2, r=3, rng=0)
+        assert forward_of(child, X).shape == (2, 1, 8, 8)
+        assert child.network.flops((2, 16, 16)) < parent.network.flops((2, 16, 16))
+
+    def test_residual_dropped_when_channels_break(self):
+        from repro.models import ArchSpec, StageSpec
+
+        arch = ArchSpec([StageSpec(channels=6), StageSpec(channels=6, residual=True)], name="r")
+        model = TrainedModel(spec=arch, network=arch.build(rng=0))
+        child = narrow(model, stage=1, r=2, rng=0)
+        assert child.spec.stages[1].residual is False
+
+
+class TestPooling:
+    def test_sets_pool_and_unpool(self):
+        child = pooling(make_model(), stage=2, rng=0)
+        assert child.spec.stages[2].pool == 2
+        assert child.spec.stages[2].unpool == 2
+
+    def test_already_pooled_rejected(self):
+        child = pooling(make_model(), stage=2, rng=0)
+        with pytest.raises(ValueError):
+            pooling(child, stage=2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            pooling(make_model(), stage=0, factor=3)
+
+    def test_weights_fully_inherited(self):
+        parent = make_model(rng=5)
+        child = pooling(parent, stage=1, rng=0)
+        p_convs = parent.spec.stage_convs(parent.network)
+        c_convs = child.spec.stage_convs(child.network)
+        for pc, cc in zip(p_convs, c_convs):
+            np.testing.assert_array_equal(cc.weight.value, pc.weight.value)
+
+    def test_child_cheaper(self):
+        parent = make_model()
+        child = pooling(parent, stage=2, rng=0)
+        assert child.network.flops((2, 16, 16)) < parent.network.flops((2, 16, 16))
+
+    def test_child_preserves_grid_shape(self):
+        child = pooling(make_model(), stage=0, rng=0)
+        assert forward_of(child, X).shape == (2, 1, 8, 8)
+
+
+class TestDropout:
+    def test_sets_probability(self):
+        child = dropout(make_model(), stage=1, p=0.2, rng=0)
+        assert child.spec.stages[1].dropout == 0.2
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            dropout(make_model(), stage=0, p=0.0)
+
+    def test_inference_function_preserved(self):
+        """Dropout is identity at inference, so the child must reproduce the
+        parent's outputs exactly (weights are fully inherited)."""
+        parent = make_model(rng=9)
+        child = dropout(parent, stage=2, p=0.1, rng=0)
+        np.testing.assert_allclose(forward_of(child, X), forward_of(parent, X), atol=1e-12)
+
+
+class TestInheritMatchingWeights:
+    def test_copies_only_matching(self):
+        parent = make_model(channels=6)
+        spec = parent.spec.copy()
+        spec.stages[1].channels = 3  # mismatched stage
+        net = spec.build(rng=1)
+        copied = inherit_matching_weights(
+            parent.spec, parent.network, spec, net, {i: i for i in range(5)}
+        )
+        # stage 1 and stage 2 (input side) mismatch; others copy, plus 1x1
+        assert copied == 4

@@ -1,0 +1,165 @@
+"""Tests for input-problem datasets and training-frame collection."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    InputProblem,
+    RecordingSolver,
+    collect_training_frames,
+    generate_problems,
+)
+from repro.fluid import FluidSimulator, PCGSolver, make_smoke_plume
+
+
+class TestInputProblem:
+    def test_materialize_reproducible(self):
+        p = InputProblem(16, 42)
+        g1, _ = p.materialize()
+        g2, _ = p.materialize()
+        np.testing.assert_array_equal(g1.u, g2.u)
+        np.testing.assert_array_equal(g1.flags, g2.flags)
+
+    def test_hashable_and_frozen(self):
+        p = InputProblem(16, 1)
+        assert p in {p}
+        with pytest.raises(AttributeError):
+            p.seed = 2
+
+
+class TestGenerateProblems:
+    def test_counts_and_sizes(self):
+        probs = generate_problems(5, 16)
+        assert len(probs) == 5
+        assert all(p.grid_size == 16 for p in probs)
+
+    def test_train_eval_disjoint(self):
+        train = {p.seed for p in generate_problems(50, 16, split="train")}
+        evals = {p.seed for p in generate_problems(50, 16, split="eval")}
+        assert not train & evals
+
+    def test_grid_sizes_disjoint_streams(self):
+        a = {p.seed for p in generate_problems(20, 16)}
+        b = {p.seed for p in generate_problems(20, 32)}
+        assert not a & b
+
+    def test_unknown_split_rejected(self):
+        with pytest.raises(ValueError):
+            generate_problems(1, 16, split="test")
+
+    def test_unique_seeds_within_split(self):
+        probs = generate_problems(100, 16)
+        assert len({p.seed for p in probs}) == 100
+
+
+class TestRecordingSolver:
+    def test_records_every_solve_with_stride_one(self):
+        g, src = make_smoke_plume(16, 16, rng=0)
+        rec = RecordingSolver(PCGSolver())
+        FluidSimulator(g, rec, src).run(4)
+        assert len(rec.samples) == 4
+
+    def test_stride_skips(self):
+        g, src = make_smoke_plume(16, 16, rng=0)
+        rec = RecordingSolver(PCGSolver(), stride=2)
+        FluidSimulator(g, rec, src).run(4)
+        assert len(rec.samples) == 2
+
+    def test_passthrough_solution(self):
+        g, src = make_smoke_plume(16, 16, rng=1)
+        rec = RecordingSolver(PCGSolver())
+        sim = FluidSimulator(g, rec, src)
+        sim.run(2)
+        for rec_step in sim.records:
+            assert rec_step.projection.post_divergence < 1e-3
+
+
+class TestCollectTrainingFrames:
+    def test_shapes_consistent(self):
+        probs = generate_problems(2, 16, split="train")
+        data = collect_training_frames(probs, n_steps=4, stride=2)
+        n = len(data["x"])
+        assert data["x"].shape == (n, 2, 16, 16)
+        assert data["b"].shape == (n, 1, 16, 16)
+        assert data["y"].shape == (n, 1, 16, 16)
+        assert data["solid"].shape == (n, 16, 16)
+        assert data["weights"].shape == (n, 16, 16)
+
+    def test_rhs_normalised(self):
+        probs = generate_problems(2, 16, split="train")
+        data = collect_training_frames(probs, n_steps=4)
+        for i in range(len(data["x"])):
+            fluid = ~data["solid"][i]
+            assert data["b"][i, 0][fluid].std() == pytest.approx(1.0, rel=1e-6)
+            assert data["b"][i, 0][fluid].mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_geometry_channel_matches_solid(self):
+        probs = generate_problems(2, 16, split="train")
+        data = collect_training_frames(probs, n_steps=2)
+        for i in range(len(data["x"])):
+            np.testing.assert_array_equal(data["x"][i, 1] > 0.5, data["solid"][i])
+
+    def test_targets_solve_the_system(self):
+        from repro.fluid import apply_laplacian
+
+        probs = generate_problems(1, 16, split="train")
+        data = collect_training_frames(probs, n_steps=2)
+        i = 0
+        solid = data["solid"][i]
+        r = data["b"][i, 0] - apply_laplacian(data["y"][i, 0], solid)
+        assert np.abs(r[~solid]).max() < 1e-3
+
+    def test_empty_problem_list_rejected(self):
+        with pytest.raises(ValueError):
+            collect_training_frames([])
+
+    def test_mixed_grid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            collect_training_frames([InputProblem(16, 0), InputProblem(32, 1)])
+
+
+class TestTrainModel:
+    def test_training_reduces_loss_and_measures_time(self):
+        from repro.models import train_model, tompson_arch
+
+        probs = generate_problems(2, 16, split="train")
+        data = collect_training_frames(probs, n_steps=4)
+        model = train_model(tompson_arch(4), data, epochs=8, rng=0)
+        assert model.history.train_loss[-1] < model.history.train_loss[0]
+        assert model.inference_seconds > 0
+
+    def test_rollout_rounds_extend_history(self):
+        from repro.models import train_model, tompson_arch
+
+        probs = generate_problems(2, 16, split="train")
+        data = collect_training_frames(probs, n_steps=4)
+        model = train_model(
+            tompson_arch(4),
+            data,
+            epochs=4,
+            rng=0,
+            rollout_problems=probs,
+            rollout_rounds=1,
+            rollout_epochs=2,
+            rollout_steps=3,
+        )
+        assert len(model.history.train_loss) == 6
+
+    def test_fine_tune_existing_network(self):
+        from repro.models import train_model, tompson_arch
+
+        probs = generate_problems(1, 16, split="train")
+        data = collect_training_frames(probs, n_steps=4)
+        arch = tompson_arch(4)
+        net = arch.build(rng=0)
+        model = train_model(arch, data, epochs=2, network=net, rng=0)
+        assert model.network is net
+
+    def test_merge_datasets(self):
+        from repro.models import merge_datasets
+
+        a = {"x": np.zeros((2, 1)), "b": np.zeros((2, 1)), "extra": np.zeros((2, 1))}
+        b = {"x": np.ones((3, 1)), "b": np.ones((3, 1))}
+        merged = merge_datasets(a, b)
+        assert set(merged) == {"x", "b"}
+        assert merged["x"].shape == (5, 1)

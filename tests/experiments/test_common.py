@@ -1,0 +1,65 @@
+"""Tests for the experiment-scale registry and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table, get_scale
+from repro.experiments.common import _ci_scale, _default_scale, _paper_scale
+
+
+class TestScales:
+    def test_named_scales(self):
+        assert get_scale("ci").name == "ci"
+        assert get_scale("default").name == "default"
+        assert get_scale("paper").name == "paper"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_env_variable_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "default")
+        assert get_scale().name == "default"
+
+    def test_default_env_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "ci"
+
+    def test_scales_strictly_grow(self):
+        ci, default, paper = _ci_scale(), _default_scale(), _paper_scale()
+        assert ci.n_problems < default.n_problems < paper.n_problems
+        assert ci.n_steps <= default.n_steps <= paper.n_steps
+        assert max(ci.grid_sizes) <= max(default.grid_sizes) < max(paper.grid_sizes)
+
+    def test_paper_scale_matches_paper_workload(self):
+        paper = _paper_scale()
+        assert paper.n_problems == 20480
+        assert paper.n_steps == 128
+        assert paper.grid_sizes == (128, 256, 512, 768, 1024)
+        # construction counts are the paper's 5/10/18 pipeline
+        c = paper.offline.construction
+        assert (c.n_shallow, c.narrows_per_model, c.n_dropout) == (5, 10, 18)
+
+    def test_ci_scale_uses_scaled_check_cadence(self):
+        ci = _ci_scale()
+        assert ci.offline.check_interval < 5  # 12-step runs need early checks
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["A", "Bee"], [["x", 1.0], ["long", 2.5]], title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert lines[1].startswith("A")
+        assert len({len(l) for l in lines[1:]}) <= 2  # consistent widths
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000001], [123456.0], [1.5], [0.0]])
+        assert "1.000e-06" in text
+        assert "1.235e+05" in text
+        assert "1.5" in text
+        assert "0" in text
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text

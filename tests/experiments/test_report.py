@@ -1,0 +1,28 @@
+"""Tests for the combined report generator."""
+
+from repro.experiments import REPORT_SECTIONS, generate_report
+
+
+class TestReport:
+    def test_sections_reference_real_runners(self):
+        import repro.experiments as experiments
+
+        for _, runner, _ in REPORT_SECTIONS:
+            assert hasattr(experiments, runner), runner
+
+    def test_selected_sections_render(self, micro_artifacts, tmp_path):
+        out = tmp_path / "report.txt"
+        text = generate_report(
+            micro_artifacts,
+            sections=["run_table1", "run_fig3"],
+            output=out,
+        )
+        assert "Table 1" in text
+        assert "Pareto front" in text or "family scatter" in text
+        assert "Figure 8" not in text  # unselected sections skipped
+        assert out.read_text().strip() == text.strip()
+
+    def test_header_carries_scale_and_requirement(self, micro_artifacts):
+        text = generate_report(micro_artifacts, sections=["run_table1"])
+        assert "scale = micro" in text
+        assert "requirement: qloss <=" in text

@@ -1,0 +1,84 @@
+"""Tests for body forces."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    MACGrid2D,
+    add_buoyancy,
+    add_gravity,
+    add_vorticity_confinement,
+)
+
+
+class TestBuoyancy:
+    def test_smoke_rises(self):
+        g = MACGrid2D(16, 16)
+        g.density[10, 8] = 1.0
+        add_buoyancy(g, dt=0.1, alpha=2.0)
+        # the faces above/below the smoke cell get an upward (negative v) kick
+        assert g.v[10, 8] < 0.0
+
+    def test_no_density_no_force(self):
+        g = MACGrid2D(16, 16)
+        add_buoyancy(g, dt=0.1)
+        np.testing.assert_array_equal(g.v, 0.0)
+
+    def test_force_scales_with_alpha_and_dt(self):
+        g1 = MACGrid2D(16, 16)
+        g1.density[10, 8] = 1.0
+        add_buoyancy(g1, dt=0.1, alpha=1.0)
+        g2 = MACGrid2D(16, 16)
+        g2.density[10, 8] = 1.0
+        add_buoyancy(g2, dt=0.2, alpha=2.0)
+        assert g2.v[10, 8] == pytest.approx(4.0 * g1.v[10, 8])
+
+    def test_solid_faces_remain_zero(self):
+        g = MACGrid2D(16, 16)
+        g.density[1, :] = 1.0  # smoke next to the top wall
+        add_buoyancy(g, dt=0.1)
+        assert (g.v[0, :] == 0).all()
+        assert (g.v[1, :] == 0).all()  # face into the wall
+
+
+class TestGravity:
+    def test_gravity_points_down(self):
+        g = MACGrid2D(16, 16)
+        add_gravity(g, dt=0.1, g=10.0)
+        assert g.v[8, 8] == pytest.approx(1.0)
+
+    def test_gravity_respects_walls(self):
+        g = MACGrid2D(16, 16)
+        add_gravity(g, dt=0.1)
+        assert (g.v[0, :] == 0).all() and (g.v[-1, :] == 0).all()
+
+
+class TestVorticityConfinement:
+    def test_zero_velocity_no_force(self):
+        g = MACGrid2D(16, 16)
+        add_vorticity_confinement(g, dt=0.1)
+        np.testing.assert_array_equal(g.u, 0.0)
+        np.testing.assert_array_equal(g.v, 0.0)
+
+    def test_adds_energy_to_swirling_flow(self):
+        g = MACGrid2D(32, 32)
+        # a simple vortex: rotational velocity around the centre
+        x, y = g.cell_centers()
+        ux, uy = g.u_positions()
+        vx, vy = g.v_positions()
+        g.u = -(uy - 0.5)
+        g.v = vx - 0.5
+        g.enforce_solid_boundaries()
+        e0 = (g.u**2).sum() + (g.v**2).sum()
+        add_vorticity_confinement(g, dt=0.05, eps=1.0)
+        e1 = (g.u**2).sum() + (g.v**2).sum()
+        assert e1 != pytest.approx(e0)
+
+    def test_boundaries_enforced_after(self):
+        g = MACGrid2D(32, 32)
+        rng = np.random.default_rng(0)
+        g.u = rng.standard_normal(g.u.shape)
+        g.v = rng.standard_normal(g.v.shape)
+        add_vorticity_confinement(g, dt=0.05, eps=1.0)
+        assert (g.u[:, 0] == 0).all() and (g.u[:, -1] == 0).all()
+        assert (g.v[0, :] == 0).all() and (g.v[-1, :] == 0).all()

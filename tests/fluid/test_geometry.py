@@ -1,0 +1,119 @@
+"""Tests for procedural obstacle geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid import (
+    box_mask,
+    capsule_mask,
+    disc_mask,
+    polygon_mask,
+    random_obstacles,
+)
+
+
+class TestDisc:
+    def test_center_inside(self):
+        m = disc_mask((32, 32), 16, 16, 5)
+        assert m[16, 16]
+
+    def test_outside_radius_excluded(self):
+        m = disc_mask((32, 32), 16, 16, 5)
+        assert not m[16, 25]
+
+    def test_area_approximates_pi_r_squared(self):
+        r = 10
+        m = disc_mask((64, 64), 32, 32, r)
+        assert m.sum() == pytest.approx(np.pi * r * r, rel=0.05)
+
+    def test_empty_when_offscreen(self):
+        assert disc_mask((16, 16), -100, -100, 3).sum() == 0
+
+
+class TestBox:
+    def test_axis_aligned_extent(self):
+        m = box_mask((32, 32), 16, 16, 4, 2)
+        ys, xs = np.nonzero(m)
+        assert xs.min() >= 11 and xs.max() <= 20
+        assert ys.min() >= 13 and ys.max() <= 18
+
+    def test_area(self):
+        m = box_mask((64, 64), 32, 32, 5, 3)
+        assert m.sum() == pytest.approx(4 * 5 * 3, rel=0.15)
+
+    def test_rotation_preserves_area(self):
+        a0 = box_mask((64, 64), 32, 32, 6, 3, angle=0.0).sum()
+        a45 = box_mask((64, 64), 32, 32, 6, 3, angle=np.pi / 4).sum()
+        assert a45 == pytest.approx(a0, rel=0.1)
+
+    def test_rotation_by_90_degrees_swaps_extents(self):
+        m = box_mask((64, 64), 32, 32, 8, 2, angle=np.pi / 2)
+        ys, xs = np.nonzero(m)
+        assert (ys.max() - ys.min()) > (xs.max() - xs.min())
+
+
+class TestCapsule:
+    def test_contains_endpoints(self):
+        m = capsule_mask((32, 32), 8, 16, 24, 16, 2)
+        assert m[16, 8] and m[16, 24]
+
+    def test_degenerate_capsule_is_disc(self):
+        c = capsule_mask((32, 32), 16, 16, 16, 16, 4)
+        d = disc_mask((32, 32), 16, 16, 4)
+        np.testing.assert_array_equal(c, d)
+
+    def test_radius_bounds_thickness(self):
+        m = capsule_mask((32, 32), 8, 16, 24, 16, 2)
+        ys, _ = np.nonzero(m)
+        assert ys.max() - ys.min() <= 5
+
+
+class TestPolygon:
+    def test_square_polygon_matches_box(self):
+        verts = np.array([[10.0, 10.0], [22.0, 10.0], [22.0, 22.0], [10.0, 22.0]])
+        poly = polygon_mask((32, 32), verts)
+        assert poly[16, 16]
+        assert not poly[5, 5]
+        assert poly.sum() == pytest.approx(144, rel=0.15)
+
+    def test_triangle(self):
+        verts = np.array([[16.0, 4.0], [28.0, 28.0], [4.0, 28.0]])
+        m = polygon_mask((32, 32), verts)
+        assert m[20, 16]  # interior
+        assert not m[6, 4]  # above-left of the triangle
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_convex_polygon_contains_vertex_centroid(self, seed):
+        rng = np.random.default_rng(seed)
+        angs = np.sort(rng.uniform(0, 2 * np.pi, 6))
+        verts = np.stack([16 + 8 * np.cos(angs), 16 + 8 * np.sin(angs)], axis=1)
+        m = polygon_mask((32, 32), verts)
+        cy, cx = verts[:, 1].mean(), verts[:, 0].mean()
+        assert m[int(cy), int(cx)]
+
+
+class TestRandomObstacles:
+    def test_respects_fill_budget(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            m = random_obstacles((32, 32), rng, n_objects=4, max_fill=0.2)
+            assert m.sum() <= 0.2 * 30 * 30 + 1
+
+    def test_zero_objects_empty(self):
+        m = random_obstacles((32, 32), np.random.default_rng(1), n_objects=0)
+        assert m.sum() == 0
+
+    def test_deterministic_for_seed(self):
+        a = random_obstacles((32, 32), np.random.default_rng(5), n_objects=3)
+        b = random_obstacles((32, 32), np.random.default_rng(5), n_objects=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_varies_across_seeds(self):
+        masks = [
+            random_obstacles((32, 32), np.random.default_rng(s), n_objects=3) for s in range(6)
+        ]
+        patterns = {m.tobytes() for m in masks}
+        assert len(patterns) > 1

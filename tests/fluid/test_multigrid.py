@@ -1,0 +1,122 @@
+"""Tests for the geometric multigrid solver."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    MACGrid2D,
+    MultigridSolver,
+    PCGSolver,
+    apply_laplacian,
+    build_hierarchy,
+    make_smoke_plume,
+    vcycle,
+)
+
+
+def compatible_rhs(solid, seed):
+    rng = np.random.default_rng(seed)
+    fluid = ~solid
+    b = np.where(fluid, rng.standard_normal(solid.shape), 0.0)
+    return np.where(fluid, b - b[fluid].mean(), 0.0)
+
+
+class TestHierarchy:
+    def test_requires_border_wall(self):
+        with pytest.raises(ValueError):
+            build_hierarchy(np.zeros((8, 8), dtype=bool))
+
+    def test_level_count_and_shapes(self):
+        g = MACGrid2D(34, 34)  # interior 32 -> 16 -> 8
+        levels = build_hierarchy(g.solid, max_levels=3)
+        assert [lvl.solid.shape for lvl in levels] == [(34, 34), (18, 18), (10, 10)]
+
+    def test_max_levels_respected(self):
+        g = MACGrid2D(66, 66)
+        assert len(build_hierarchy(g.solid, max_levels=2)) == 2
+
+    def test_odd_interior_stops_coarsening(self):
+        g = MACGrid2D(9, 9)  # interior 7: odd
+        assert len(build_hierarchy(g.solid)) == 1
+
+    def test_coarse_levels_keep_border_wall(self):
+        g = MACGrid2D(34, 34)
+        for lvl in build_hierarchy(g.solid):
+            s = lvl.solid
+            assert s[0, :].all() and s[-1, :].all() and s[:, 0].all() and s[:, -1].all()
+
+    def test_obstacles_coarsen_majority_rule(self):
+        g = MACGrid2D(34, 34)
+        mask = np.zeros((34, 34), dtype=bool)
+        mask[9:17, 9:17] = True  # 8x8 block, child-aligned
+        g.add_solid(mask)
+        levels = build_hierarchy(g.solid)
+        coarse = levels[1].solid
+        # fine interior rows 9..16 map to coarse interior rows 4..7 (+1 wall)
+        assert coarse[5:9, 5:9].all()
+
+
+class TestVcycle:
+    def test_single_cycle_reduces_residual(self):
+        g = MACGrid2D(34, 34)
+        b = compatible_rhs(g.solid, 0)
+        levels = build_hierarchy(g.solid)
+        p = vcycle(levels, b)
+        r = np.where(g.fluid, b - apply_laplacian(p, g.solid), 0.0)
+        assert np.abs(r).max() < 0.2 * np.abs(b).max()
+
+    def test_cycle_is_linear_operator(self):
+        g = MACGrid2D(18, 18)
+        levels = build_hierarchy(g.solid)
+        a = compatible_rhs(g.solid, 1)
+        b = compatible_rhs(g.solid, 2)
+        np.testing.assert_allclose(
+            vcycle(levels, a + b), vcycle(levels, a) + vcycle(levels, b), atol=1e-9
+        )
+
+
+class TestMultigridSolver:
+    def test_converges_on_clean_domain(self):
+        g = MACGrid2D(34, 34)
+        res = MultigridSolver(tol=1e-8).solve(compatible_rhs(g.solid, 0), g.solid)
+        assert res.converged
+        assert res.iterations < 15
+
+    def test_converges_with_obstacles(self):
+        g, _ = make_smoke_plume(34, 34, rng=5)
+        res = MultigridSolver(tol=1e-7, max_cycles=80).solve(compatible_rhs(g.solid, 1), g.solid)
+        assert res.converged
+
+    def test_agrees_with_pcg(self):
+        g, _ = make_smoke_plume(34, 34, rng=7)
+        b = compatible_rhs(g.solid, 2)
+        p_pcg = PCGSolver(tol=1e-10).solve(b, g.solid).pressure
+        p_mg = MultigridSolver(tol=1e-10, max_cycles=200).solve(b, g.solid).pressure
+        assert np.abs(p_pcg - p_mg).max() < 1e-6 * max(np.abs(p_pcg).max(), 1e-12)
+
+    def test_zero_rhs(self):
+        g = MACGrid2D(18, 18)
+        res = MultigridSolver().solve(np.zeros(g.shape), g.solid)
+        assert res.converged and res.iterations == 0
+
+    def test_solution_mean_zero(self):
+        g = MACGrid2D(34, 34)
+        res = MultigridSolver(tol=1e-8).solve(compatible_rhs(g.solid, 3), g.solid)
+        assert res.pressure[g.fluid].mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_hierarchy_cached_per_mask(self):
+        solver = MultigridSolver()
+        g = MACGrid2D(34, 34)
+        solver.solve(compatible_rhs(g.solid, 4), g.solid)
+        levels = solver._levels
+        solver.solve(compatible_rhs(g.solid, 5), g.solid)
+        assert solver._levels is levels
+
+    def test_faster_convergence_than_jacobi_preconditioned_pcg_in_cycles(self):
+        # MG should need far fewer cycles than unpreconditioned CG iterations
+        g = MACGrid2D(34, 34)
+        b = compatible_rhs(g.solid, 6)
+        mg = MultigridSolver(tol=1e-8).solve(b, g.solid)
+        cg = PCGSolver(tol=1e-8, preconditioner="none").solve(b, g.solid)
+        assert mg.converged and cg.converged
+        assert mg.iterations < cg.iterations

@@ -1,0 +1,164 @@
+"""Tests for divergence, gradient and the matrix-free Laplacian."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid import (
+    MACGrid2D,
+    apply_laplacian,
+    build_poisson_system,
+    divergence,
+    pressure_gradient_update,
+)
+
+
+def random_solid(n: int, seed: int) -> np.ndarray:
+    """Random solid mask with a guaranteed border wall and some fluid."""
+    rng = np.random.default_rng(seed)
+    solid = rng.random((n, n)) < 0.2
+    solid[0, :] = solid[-1, :] = True
+    solid[:, 0] = solid[:, -1] = True
+    solid[n // 2, n // 2] = False
+    return solid
+
+
+class TestDivergence:
+    def test_zero_for_still_fluid(self):
+        g = MACGrid2D(8, 8)
+        np.testing.assert_array_equal(divergence(g), 0.0)
+
+    def test_uniform_flow_is_divergence_free(self):
+        g = MACGrid2D(8, 8)
+        g.u[:] = 1.0
+        g.v[:] = -2.0
+        np.testing.assert_allclose(divergence(g), 0.0)
+
+    def test_point_source_divergence_sign(self):
+        g = MACGrid2D(8, 8)
+        # outflow from cell (4,4)
+        g.u[4, 5] = 1.0
+        g.u[4, 4] = -1.0
+        g.v[5, 4] = 1.0
+        g.v[4, 4] = -1.0
+        d = divergence(g)
+        assert d[4, 4] > 0
+        assert d[4, 4] == pytest.approx(4.0 / g.dx)
+
+    def test_solid_cells_zeroed(self):
+        g = MACGrid2D(8, 8)
+        g.u[:] = np.random.default_rng(0).standard_normal(g.u.shape)
+        d = divergence(g)
+        assert (d[g.solid] == 0).all()
+
+    def test_linear_velocity_gives_constant_divergence(self):
+        g = MACGrid2D(16, 16)
+        ux, _ = g.u_positions()
+        g.u = 3.0 * ux
+        d = divergence(g)
+        np.testing.assert_allclose(d[g.fluid], 3.0, atol=1e-10)
+
+
+class TestPressureGradientUpdate:
+    def test_constant_pressure_no_change(self):
+        g = MACGrid2D(8, 8)
+        g.u[:, 2:-2] = 1.0
+        g.enforce_solid_boundaries()
+        u0 = g.u.copy()
+        pressure_gradient_update(g, np.full(g.shape, 5.0), dt=0.1, rho=1.0)
+        np.testing.assert_allclose(g.u, u0)
+
+    def test_gradient_direction(self):
+        g = MACGrid2D(8, 8)
+        p = np.zeros(g.shape)
+        p[4, 5] = 1.0  # high pressure right of centre pushes flow left
+        pressure_gradient_update(g, p, dt=0.1, rho=1.0)
+        assert g.u[4, 5] < 0  # face between (4,4) and (4,5)
+
+    def test_scaling_with_dt_and_rho(self):
+        p = np.zeros((8, 8))
+        p[4, 5] = 1.0
+        g1 = MACGrid2D(8, 8)
+        pressure_gradient_update(g1, p, dt=0.1, rho=1.0)
+        g2 = MACGrid2D(8, 8)
+        pressure_gradient_update(g2, p, dt=0.2, rho=2.0)
+        np.testing.assert_allclose(g1.u, g2.u)
+
+    def test_solid_faces_not_updated(self):
+        g = MACGrid2D(8, 8)
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[4, 4] = True
+        g.add_solid(mask)
+        p = np.random.default_rng(1).standard_normal(g.shape)
+        pressure_gradient_update(g, p, dt=0.1, rho=1.0)
+        assert g.u[4, 4] == 0.0 and g.u[4, 5] == 0.0
+        assert g.v[4, 4] == 0.0 and g.v[5, 4] == 0.0
+
+
+class TestApplyLaplacian:
+    def test_matches_sparse_matrix(self):
+        solid = random_solid(10, seed=3)
+        system = build_poisson_system(solid)
+        rng = np.random.default_rng(0)
+        p = np.where(~solid, rng.standard_normal(solid.shape), 0.0)
+        dense = apply_laplacian(p, solid)
+        sparse = system.unflatten(system.matrix @ system.flatten(p), solid.shape)
+        np.testing.assert_allclose(dense, sparse, atol=1e-12)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_sparse_matrix_random_masks(self, seed):
+        solid = random_solid(8, seed)
+        system = build_poisson_system(solid)
+        rng = np.random.default_rng(seed + 1)
+        p = np.where(~solid, rng.standard_normal(solid.shape), 0.0)
+        dense = apply_laplacian(p, solid)
+        sparse = system.unflatten(system.matrix @ system.flatten(p), solid.shape)
+        np.testing.assert_allclose(dense, sparse, atol=1e-12)
+
+    def test_constant_in_nullspace(self):
+        solid = random_solid(10, seed=7)
+        p = np.where(~solid, 3.7, 0.0)
+        np.testing.assert_allclose(apply_laplacian(p, solid), 0.0, atol=1e-12)
+
+    def test_symmetry(self):
+        solid = random_solid(8, seed=5)
+        rng = np.random.default_rng(2)
+        x = np.where(~solid, rng.standard_normal(solid.shape), 0.0)
+        y = np.where(~solid, rng.standard_normal(solid.shape), 0.0)
+        lhs = (apply_laplacian(x, solid) * y).sum()
+        rhs = (x * apply_laplacian(y, solid)).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_positive_semidefinite(self):
+        solid = random_solid(8, seed=9)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            x = np.where(~solid, rng.standard_normal(solid.shape), 0.0)
+            assert (apply_laplacian(x, solid) * x).sum() >= -1e-10
+
+    def test_solid_rows_zero(self):
+        solid = random_solid(8, seed=11)
+        rng = np.random.default_rng(4)
+        p = rng.standard_normal(solid.shape)
+        out = apply_laplacian(p, solid)
+        assert (out[solid] == 0).all()
+
+
+class TestProjectionExactness:
+    def test_projection_removes_divergence(self):
+        """Full projection (solve + update) drives divergence to ~0."""
+        from repro.fluid import PCGSolver, poisson_rhs
+
+        g = MACGrid2D(16, 16)
+        rng = np.random.default_rng(0)
+        g.u = rng.standard_normal(g.u.shape)
+        g.v = rng.standard_normal(g.v.shape)
+        g.enforce_solid_boundaries()
+        div0 = divergence(g)
+        b = poisson_rhs(div0, g.solid, dt=0.1, rho=1.0, dx=g.dx)
+        res = PCGSolver(tol=1e-10).solve(b, g.solid)
+        pressure_gradient_update(g, res.pressure, dt=0.1, rho=1.0)
+        div1 = divergence(g)
+        assert np.abs(div1[g.fluid]).max() < 1e-6 * max(np.abs(div0[g.fluid]).max(), 1.0)

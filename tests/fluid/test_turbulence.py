@@ -1,0 +1,88 @@
+"""Tests for the turbulent initial-condition generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid import (
+    MACGrid2D,
+    apply_turbulent_velocity,
+    divergence,
+    stream_function_noise,
+    value_noise,
+)
+
+
+class TestValueNoise:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        assert value_noise((17, 33), 4, rng).shape == (17, 33)
+
+    def test_deterministic_given_rng_state(self):
+        a = value_noise((16, 16), 4, np.random.default_rng(7))
+        b = value_noise((16, 16), 4, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = value_noise((16, 16), 4, np.random.default_rng(1))
+        b = value_noise((16, 16), 4, np.random.default_rng(2))
+        assert not np.allclose(a, b)
+
+    def test_higher_scale_has_finer_features(self):
+        # finer noise decorrelates faster: neighbouring-cell correlation drops
+        def neighbour_corr(f):
+            a, b = f[:, :-1].ravel(), f[:, 1:].ravel()
+            return np.corrcoef(a, b)[0, 1]
+
+        rng = np.random.default_rng(3)
+        coarse = value_noise((64, 64), 3, rng)
+        fine = value_noise((64, 64), 24, rng)
+        assert neighbour_corr(fine) < neighbour_corr(coarse)
+
+
+class TestStreamFunctionNoise:
+    def test_octaves_add_detail(self):
+        one = stream_function_noise((33, 33), np.random.default_rng(5), octaves=1)
+        many = stream_function_noise((33, 33), np.random.default_rng(5), octaves=4)
+        assert not np.allclose(one, many)
+
+    def test_shape(self):
+        psi = stream_function_noise((17, 25), np.random.default_rng(0))
+        assert psi.shape == (17, 25)
+
+
+class TestApplyTurbulentVelocity:
+    def test_interior_divergence_free(self):
+        g = MACGrid2D(32, 32)
+        apply_turbulent_velocity(g, np.random.default_rng(0))
+        d = divergence(g)
+        # away from the wall the curl construction is exactly divergence-free
+        assert np.abs(d[2:-2, 2:-2]).max() < 1e-10
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_interior_divergence_free_any_seed(self, seed):
+        g = MACGrid2D(24, 24)
+        apply_turbulent_velocity(g, np.random.default_rng(seed))
+        d = divergence(g)
+        assert np.abs(d[2:-2, 2:-2]).max() < 1e-9
+
+    def test_magnitude_normalisation(self):
+        g = MACGrid2D(32, 32)
+        apply_turbulent_velocity(g, np.random.default_rng(1), magnitude=0.7)
+        peak = max(np.abs(g.u).max(), np.abs(g.v).max())
+        # boundary zeroing may clip the true peak, but never exceed it
+        assert peak <= 0.7 + 1e-12
+        assert peak > 0.1
+
+    def test_boundaries_enforced(self):
+        g = MACGrid2D(32, 32)
+        apply_turbulent_velocity(g, np.random.default_rng(2))
+        assert (g.u[:, 0] == 0).all() and (g.u[:, -1] == 0).all()
+        assert (g.v[0, :] == 0).all() and (g.v[-1, :] == 0).all()
+
+    def test_nonzero_field(self):
+        g = MACGrid2D(32, 32)
+        apply_turbulent_velocity(g, np.random.default_rng(3))
+        assert (g.u**2).sum() > 0

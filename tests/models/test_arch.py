@@ -1,0 +1,128 @@
+"""Tests for the architecture spec."""
+
+import numpy as np
+import pytest
+
+from repro.models import ArchSpec, StageSpec, tompson_arch, MAX_STAGES
+from repro.nn import Conv2d, Dropout, MaxPool2d, Network, Residual, Upsample2d
+
+
+class TestStageSpec:
+    def test_defaults_valid(self):
+        StageSpec().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kernel": 4},
+            {"kernel": -1},
+            {"channels": 0},
+            {"pool": 2, "unpool": 1},
+            {"pool": 3, "unpool": 3},
+            {"dropout": 1.0},
+            {"dropout": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            StageSpec(**kwargs).validate()
+
+
+class TestArchSpec:
+    def test_tompson_has_five_stages(self):
+        arch = tompson_arch()
+        assert arch.n_stages == 5
+        assert all(s.kernel == 3 for s in arch.stages)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ArchSpec([]).validate()
+
+    def test_too_many_stages_rejected(self):
+        with pytest.raises(ValueError):
+            ArchSpec([StageSpec() for _ in range(MAX_STAGES + 1)]).validate()
+
+    def test_build_output_shape(self):
+        net = tompson_arch(channels=4).build(rng=0)
+        out = net.forward(np.zeros((2, 2, 16, 16)))
+        assert out.shape == (2, 1, 16, 16)
+
+    def test_build_deterministic_for_seed(self):
+        a = tompson_arch(4).build(rng=3)
+        b = tompson_arch(4).build(rng=3)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.value, pb.value)
+
+    def test_pooled_stage_preserves_shape(self):
+        arch = ArchSpec([StageSpec(channels=4), StageSpec(channels=4, pool=2, unpool=2)])
+        net = arch.build(rng=0)
+        out = net.forward(np.zeros((1, 2, 8, 8)))
+        assert out.shape == (1, 1, 8, 8)
+
+    def test_pooled_stage_reduces_flops(self):
+        plain = ArchSpec([StageSpec(channels=8), StageSpec(channels=8)])
+        pooled = ArchSpec([StageSpec(channels=8), StageSpec(channels=8, pool=2, unpool=2)])
+        f_plain = plain.build(rng=0).flops((2, 16, 16))
+        f_pooled = pooled.build(rng=0).flops((2, 16, 16))
+        assert f_pooled < f_plain
+
+    def test_pool_layers_present(self):
+        arch = ArchSpec([StageSpec(channels=4, pool=2, unpool=2)])
+        net = arch.build(rng=0)
+        kinds = [type(l) for l in net.layers]
+        assert MaxPool2d in kinds and Upsample2d in kinds
+        # pool comes before the conv, upsample after
+        assert kinds.index(MaxPool2d) < kinds.index(Conv2d)
+
+    def test_dropout_layer_present(self):
+        arch = ArchSpec([StageSpec(channels=4, dropout=0.1)])
+        net = arch.build(rng=0)
+        assert any(isinstance(l, Dropout) for l in net.layers)
+
+    def test_residual_only_when_channels_match(self):
+        matched = ArchSpec([StageSpec(channels=2, residual=True)], in_channels=2)
+        assert any(isinstance(l, Residual) for l in matched.build(rng=0).layers)
+        unmatched = ArchSpec([StageSpec(channels=5, residual=True)], in_channels=2)
+        assert not any(isinstance(l, Residual) for l in unmatched.build(rng=0).layers)
+
+    def test_roundtrip_serialisation(self):
+        arch = ArchSpec(
+            [StageSpec(3, 8), StageSpec(5, 4, pool=2, unpool=2, dropout=0.1, residual=True)],
+            name="x",
+        )
+        again = ArchSpec.from_dict(arch.to_dict())
+        assert again == arch
+
+    def test_copy_is_deep(self):
+        arch = tompson_arch()
+        c = arch.copy()
+        c.stages[0].channels = 99
+        assert arch.stages[0].channels != 99
+
+    def test_architecture_vectors_shape_and_padding(self):
+        arch = tompson_arch(channels=6)
+        vecs = arch.architecture_vectors()
+        assert set(vecs) == {"ker", "chn", "pool", "unp", "res"}
+        for v in vecs.values():
+            assert v.shape == (MAX_STAGES,)
+        assert (vecs["chn"][:5] == 6).all()
+        assert (vecs["chn"][5:] == 0).all()
+        assert (vecs["pool"][:5] == 1).all()
+
+    def test_total_neurons(self):
+        assert tompson_arch(channels=8).total_neurons() == 40
+
+    def test_stage_convs_mapping(self):
+        arch = ArchSpec([StageSpec(channels=4), StageSpec(channels=4, residual=True)])
+        net = arch.build(rng=0)
+        convs = arch.stage_convs(net)
+        assert len(convs) == 3  # two stages + final 1x1
+        assert convs[0].out_channels == 4
+        assert convs[-1].out_channels == 1
+        assert convs[-1].kernel == 1
+
+    def test_stage_convs_rejects_mismatched_network(self):
+        arch = tompson_arch()
+        other = ArchSpec([StageSpec(channels=4)]).build(rng=0)
+        with pytest.raises(ValueError):
+            arch.stage_convs(other)

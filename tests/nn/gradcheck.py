@@ -1,0 +1,60 @@
+"""Shared numerical gradient-checking helpers for layer tests."""
+
+import numpy as np
+
+from repro.nn import Layer
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar function ``f`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_layer_input_grad(layer: Layer, x: np.ndarray, atol: float = 1e-6) -> None:
+    """Verify backward() against a numerical gradient of sum(forward(x))."""
+    out = layer.forward(x.copy(), training=True)
+    analytic = layer.backward(np.ones_like(out))
+
+    def f(inp):
+        return float(layer.forward(inp, training=False).sum())
+
+    numeric = numerical_grad(f, x.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+def check_layer_param_grads(layer: Layer, x: np.ndarray, atol: float = 1e-5) -> None:
+    """Verify parameter gradients against numerical differentiation."""
+    out = layer.forward(x.copy(), training=True)
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.backward(np.ones_like(out))
+    for p in layer.parameters():
+        analytic = p.grad.copy()
+
+        def f(_x, p=p):
+            return float(layer.forward(x.copy(), training=False).sum())
+
+        numeric = np.zeros_like(p.value)
+        flat = p.value.ravel()
+        nflat = numeric.ravel()
+        eps = 1e-6
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            hi = f(None)
+            flat[i] = orig - eps
+            lo = f(None)
+            flat[i] = orig
+            nflat[i] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=atol, err_msg=p.name)

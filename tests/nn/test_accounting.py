@@ -1,0 +1,64 @@
+"""Tests for FLOP/memory accounting."""
+
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Dense,
+    Flatten,
+    MaxPool2d,
+    Network,
+    ReLU,
+    Upsample2d,
+    analyze_network,
+    pcg_flops,
+    pcg_memory_bytes,
+)
+
+
+class TestAnalyzeNetwork:
+    def test_pooling_reduces_downstream_flops(self):
+        plain = Network([Conv2d(2, 4, rng=0), Conv2d(4, 4, rng=1)])
+        pooled = Network([Conv2d(2, 4, rng=0), MaxPool2d(2), Conv2d(4, 4, rng=1), Upsample2d(2)])
+        assert analyze_network(pooled, (2, 16, 16)).flops < analyze_network(plain, (2, 16, 16)).flops
+
+    def test_memory_includes_params_and_activations(self):
+        net = Network([Conv2d(2, 4, rng=0)])
+        usage = analyze_network(net, (2, 8, 8))
+        # params*4 plus (input + output activations)*4 bytes
+        expected = (net.param_count() + (2 * 64 + 4 * 64)) * 4
+        assert usage.memory_bytes == expected
+
+    def test_mixed_conv_dense_network(self):
+        net = Network([Conv2d(1, 2, rng=0), Flatten(), Dense(2 * 16, 4, rng=1), ReLU()])
+        usage = analyze_network(net, (1, 4, 4))
+        assert usage.flops > 0
+        assert usage.params == net.param_count()
+
+    def test_units(self):
+        net = Network([Dense(10, 10, rng=0)])
+        usage = analyze_network(net, (10,))
+        assert usage.mflops == pytest.approx(usage.flops / 1e6)
+        assert usage.memory_mb == pytest.approx(usage.memory_bytes / 2**20)
+
+
+class TestPCGAccounting:
+    def test_flops_linear_in_cells_and_iterations(self):
+        assert pcg_flops(100, 10) == pytest.approx(2 * pcg_flops(50, 10))
+        assert pcg_flops(100, 20) == pytest.approx(2 * pcg_flops(100, 10))
+
+    def test_memory_covers_solver_fields(self):
+        # nine float32 fields per cell
+        assert pcg_memory_bytes(1000) == 9 * 1000 * 4
+
+    def test_matches_solver_counter(self):
+        """The analytic estimate must agree with PCGSolver's own counter."""
+        import numpy as np
+
+        from repro.fluid import MACGrid2D, PCGSolver
+
+        g = MACGrid2D(16, 16)
+        rng = np.random.default_rng(0)
+        b = np.where(g.fluid, rng.standard_normal(g.shape), 0.0)
+        res = PCGSolver(tol=1e-7).solve(b, g.solid)
+        assert res.flops == pytest.approx(pcg_flops(int(g.fluid.sum()), res.iterations))

@@ -1,0 +1,279 @@
+"""Tests for Network/Residual containers, losses, optimisers and training."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import MACGrid2D, PCGSolver, apply_laplacian, divnorm_weights
+from repro.nn import (
+    Adam,
+    Conv2d,
+    Dense,
+    DivNormLoss,
+    MSELoss,
+    Network,
+    ReLU,
+    Residual,
+    SGD,
+    Sigmoid,
+    Trainer,
+    analyze_network,
+    divnorm_of_residual,
+)
+
+from .gradcheck import numerical_grad
+
+RNG = np.random.default_rng(0)
+
+
+def tiny_cnn(seed=0):
+    return Network(
+        [
+            Conv2d(2, 4, kernel=3, rng=seed),
+            ReLU(),
+            Conv2d(4, 1, kernel=3, rng=seed + 1),
+        ]
+    )
+
+
+class TestNetwork:
+    def test_forward_shape(self):
+        net = tiny_cnn()
+        out = net.forward(RNG.standard_normal((3, 2, 8, 8)))
+        assert out.shape == (3, 1, 8, 8)
+
+    def test_parameters_collected(self):
+        net = tiny_cnn()
+        assert len(net.parameters()) == 4  # two convs x (weight, bias)
+
+    def test_zero_grad(self):
+        net = tiny_cnn()
+        x = RNG.standard_normal((2, 2, 6, 6))
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out))
+        assert any(np.abs(p.grad).sum() > 0 for p in net.parameters())
+        net.zero_grad()
+        assert all((p.grad == 0).all() for p in net.parameters())
+
+    def test_end_to_end_input_gradient(self):
+        net = tiny_cnn(seed=5)
+        x = RNG.standard_normal((1, 2, 5, 5))
+        out = net.forward(x.copy(), training=True)
+        analytic = net.backward(np.ones_like(out))
+        numeric = numerical_grad(lambda v: float(net.forward(v, training=False).sum()), x.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_flops_additive(self):
+        net = tiny_cnn()
+        total = net.flops((2, 8, 8))
+        parts = (
+            net.layers[0].flops((2, 8, 8))
+            + net.layers[1].flops((4, 8, 8))
+            + net.layers[2].flops((4, 8, 8))
+        )
+        assert total == parts
+
+
+class TestResidual:
+    def test_identity_plus_function(self):
+        block = Residual([Conv2d(3, 3, kernel=3, rng=0)])
+        x = RNG.standard_normal((2, 3, 6, 6))
+        inner = block.layers[0].forward(x)
+        np.testing.assert_allclose(block.forward(x), inner + x)
+
+    def test_shape_mismatch_rejected(self):
+        block = Residual([Conv2d(3, 5, kernel=3, rng=0)])
+        with pytest.raises(ValueError):
+            block.forward(RNG.standard_normal((1, 3, 6, 6)))
+
+    def test_gradient_includes_skip(self):
+        block = Residual([Conv2d(2, 2, kernel=3, rng=1)])
+        x = RNG.standard_normal((1, 2, 4, 4))
+        out = block.forward(x.copy(), training=True)
+        analytic = block.backward(np.ones_like(out))
+        numeric = numerical_grad(lambda v: float(block.forward(v, training=False).sum()), x.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_zero_inner_weights_give_identity_gradient(self):
+        block = Residual([Conv2d(2, 2, kernel=3, rng=2)])
+        for p in block.parameters():
+            p.value[:] = 0.0
+        x = RNG.standard_normal((1, 2, 4, 4))
+        out = block.forward(x, training=True)
+        np.testing.assert_allclose(out, x)
+        g = block.backward(np.ones_like(out))
+        np.testing.assert_allclose(g, 1.0)
+
+
+class TestMSELoss:
+    def test_value(self):
+        loss = MSELoss()
+        v, _ = loss.value_and_grad(np.array([[1.0, 2.0]]), {"y": np.array([[0.0, 0.0]])})
+        assert v == pytest.approx(2.5)
+
+    def test_gradient_matches_numeric(self):
+        loss = MSELoss()
+        pred = RNG.standard_normal((3, 4))
+        y = RNG.standard_normal((3, 4))
+        _, grad = loss.value_and_grad(pred, {"y": y})
+        numeric = numerical_grad(lambda p: loss.value_and_grad(p, {"y": y})[0], pred.copy())
+        np.testing.assert_allclose(grad, numeric, atol=1e-7)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().value_and_grad(np.zeros((2, 2)), {"y": np.zeros((2, 3))})
+
+
+class TestDivNormLoss:
+    def make_batch(self, n=2, size=10, seed=0):
+        rng = np.random.default_rng(seed)
+        g = MACGrid2D(size, size)
+        solid = np.broadcast_to(g.solid, (n, size, size)).copy()
+        weights = np.broadcast_to(divnorm_weights(g.solid), (n, size, size)).copy()
+        b = np.where(~solid, rng.standard_normal((n, size, size)), 0.0)
+        nf = (~solid).sum(axis=(1, 2), keepdims=True)
+        fluid_mean = b.sum(axis=(1, 2), keepdims=True) / nf
+        b = np.where(~solid, b - fluid_mean, 0.0)
+        return {"b": b[:, None], "solid": solid, "weights": weights}
+
+    def test_zero_loss_at_exact_solution(self):
+        batch = self.make_batch(n=1)
+        solid = batch["solid"][0]
+        res = PCGSolver(tol=1e-12).solve(batch["b"][0, 0], solid)
+        pred = res.pressure[None, None]
+        v, _ = DivNormLoss().value_and_grad(pred, batch)
+        assert v < 1e-12
+
+    def test_positive_for_zero_prediction(self):
+        batch = self.make_batch()
+        v, _ = DivNormLoss().value_and_grad(np.zeros_like(batch["b"]), batch)
+        assert v > 0
+
+    def test_gradient_matches_numeric(self):
+        batch = self.make_batch(n=1, size=8, seed=3)
+        loss = DivNormLoss()
+        pred = np.random.default_rng(4).standard_normal(batch["b"].shape) * 0.1
+        _, grad = loss.value_and_grad(pred, batch)
+        numeric = numerical_grad(lambda p: loss.value_and_grad(p, batch)[0], pred.copy())
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_gradient_descends(self):
+        batch = self.make_batch(n=1, size=8, seed=5)
+        loss = DivNormLoss()
+        pred = np.zeros_like(batch["b"])
+        v0, grad = loss.value_and_grad(pred, batch)
+        v1, _ = loss.value_and_grad(pred - 0.05 * grad, batch)
+        assert v1 < v0
+
+    def test_divnorm_of_residual_consistent(self):
+        batch = self.make_batch(n=1, size=8, seed=6)
+        pred = np.zeros((8, 8))
+        direct = divnorm_of_residual(batch["b"][0, 0], pred, batch["solid"][0], batch["weights"][0])
+        nf = int((~batch["solid"][0]).sum())
+        v, _ = DivNormLoss().value_and_grad(pred[None, None], batch)
+        assert v == pytest.approx(direct / nf)
+
+
+class TestOptimisers:
+    def quadratic_params(self):
+        from repro.nn import Parameter
+
+        return [Parameter(np.array([5.0, -3.0]))]
+
+    def test_sgd_minimises_quadratic(self):
+        params = self.quadratic_params()
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            params[0].grad += 2 * params[0].value
+            opt.step()
+        np.testing.assert_allclose(params[0].value, 0.0, atol=1e-6)
+
+    def test_sgd_momentum_accelerates(self):
+        def run(momentum):
+            params = self.quadratic_params()
+            opt = SGD(params, lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                params[0].grad += 2 * params[0].value
+                opt.step()
+            return np.abs(params[0].value).max()
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_minimises_quadratic(self):
+        params = self.quadratic_params()
+        opt = Adam(params, lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            params[0].grad += 2 * params[0].value
+            opt.step()
+        np.testing.assert_allclose(params[0].value, 0.0, atol=1e-4)
+
+
+class TestTrainer:
+    def test_learns_linear_map(self):
+        rng = np.random.default_rng(0)
+        w_true = rng.standard_normal((3, 2))
+        x = rng.standard_normal((200, 3))
+        y = x @ w_true
+        net = Network([Dense(3, 2, rng=1)])
+        trainer = Trainer(net, MSELoss(), Adam(net.parameters(), lr=0.05), rng=2)
+        hist = trainer.fit({"x": x, "y": y}, epochs=40, batch_size=32)
+        assert hist.train_loss[-1] < 1e-3
+        assert hist.train_loss[-1] < hist.train_loss[0]
+
+    def test_validation_tracked(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((64, 2))
+        y = x.sum(axis=1, keepdims=True)
+        net = Network([Dense(2, 1, rng=0)])
+        trainer = Trainer(net, MSELoss(), SGD(net.parameters(), lr=0.05), rng=0)
+        hist = trainer.fit({"x": x, "y": y}, epochs=5, validation={"x": x, "y": y})
+        assert len(hist.val_loss) == 5
+
+    def test_missing_x_rejected(self):
+        net = Network([Dense(2, 1, rng=0)])
+        trainer = Trainer(net, MSELoss(), SGD(net.parameters()))
+        with pytest.raises(ValueError):
+            trainer.fit({"y": np.zeros((4, 1))})
+
+    def test_evaluate_without_updates(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((16, 2))
+        y = rng.standard_normal((16, 1))
+        net = Network([Dense(2, 1, rng=0)])
+        trainer = Trainer(net, MSELoss(), SGD(net.parameters()))
+        before = [p.value.copy() for p in net.parameters()]
+        trainer.evaluate({"x": x, "y": y})
+        for p, b in zip(net.parameters(), before):
+            np.testing.assert_array_equal(p.value, b)
+
+    def test_cnn_trains_on_divnorm(self):
+        """A small CNN trained with the DivNorm objective reduces the loss."""
+        rng = np.random.default_rng(3)
+        g = MACGrid2D(12, 12)
+        n = 16
+        solid = np.broadcast_to(g.solid, (n, 12, 12)).copy()
+        weights = np.broadcast_to(divnorm_weights(g.solid), (n, 12, 12)).copy()
+        b = np.where(~solid, rng.standard_normal((n, 12, 12)), 0.0)
+        x = np.stack([b, solid.astype(float)], axis=1)
+        data = {"x": x, "b": b[:, None], "solid": solid, "weights": weights}
+        net = tiny_cnn(seed=7)
+        trainer = Trainer(net, DivNormLoss(), Adam(net.parameters(), lr=5e-3), rng=4)
+        hist = trainer.fit(data, epochs=12, batch_size=8)
+        assert hist.train_loss[-1] < 0.7 * hist.train_loss[0]
+
+
+class TestAccounting:
+    def test_analyze_network(self):
+        net = tiny_cnn()
+        usage = analyze_network(net, (2, 16, 16))
+        assert usage.flops > 0
+        assert usage.params == net.param_count()
+        assert usage.memory_bytes > usage.params * 4
+
+    def test_flops_scale_with_resolution(self):
+        net = tiny_cnn()
+        small = analyze_network(net, (2, 8, 8)).flops
+        large = analyze_network(net, (2, 16, 16)).flops
+        assert large == pytest.approx(4 * small)

@@ -1,0 +1,109 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineLR,
+    Dense,
+    MSELoss,
+    Network,
+    Parameter,
+    SGD,
+    StepLR,
+    Trainer,
+    WarmupLR,
+)
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        sched = StepLR(make_opt(1.0), step_size=2, gamma=0.5)
+        rates = [sched.step() for _ in range(6)]
+        assert rates == [1.0, 0.5, 0.5, 0.25, 0.25, 0.125]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), gamma=1.5)
+
+    def test_mutates_optimizer(self):
+        opt = make_opt(1.0)
+        StepLR(opt, step_size=1, gamma=0.1).step()
+        assert opt.lr == pytest.approx(0.1)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        sched = CosineLR(make_opt(2.0), total_epochs=10, min_lr=0.2)
+        first = sched.compute(0)
+        last = sched.compute(10)
+        assert first == pytest.approx(2.0)
+        assert last == pytest.approx(0.2)
+
+    def test_monotone_decay(self):
+        sched = CosineLR(make_opt(1.0), total_epochs=8)
+        rates = [sched.step() for _ in range(8)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_clamped_past_horizon(self):
+        sched = CosineLR(make_opt(1.0), total_epochs=4, min_lr=0.1)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CosineLR(make_opt(), total_epochs=0)
+
+
+class TestWarmupLR:
+    def test_linear_ramp(self):
+        sched = WarmupLR(make_opt(1.0), warmup_epochs=4)
+        rates = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(rates, [0.25, 0.5, 0.75, 1.0])
+
+    def test_delegates_after_warmup(self):
+        opt = make_opt(1.0)
+        after = StepLR(make_opt(1.0), step_size=1, gamma=0.5)
+        sched = WarmupLR(opt, warmup_epochs=2, after=after)
+        rates = [sched.step() for _ in range(4)]
+        assert rates[:2] == [0.5, 1.0]
+        assert rates[2] == pytest.approx(0.5)
+
+    def test_holds_base_without_after(self):
+        sched = WarmupLR(make_opt(2.0), warmup_epochs=1)
+        assert [sched.step() for _ in range(3)] == [2.0, 2.0, 2.0]
+
+
+class TestTrainerIntegration:
+    def test_scheduler_applied_per_epoch(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 3))
+        y = x @ rng.standard_normal((3, 1))
+        net = Network([Dense(3, 1, rng=1)])
+        opt = Adam(net.parameters(), lr=0.05)
+        sched = StepLR(opt, step_size=1, gamma=0.5)
+        Trainer(net, MSELoss(), opt, rng=0).fit(
+            {"x": x, "y": y}, epochs=3, scheduler=sched
+        )
+        assert opt.lr == pytest.approx(0.05 * 0.5**3)
+
+    def test_cosine_anneals_during_training(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((64, 4))
+        y = np.sin(x.sum(axis=1, keepdims=True))
+        net = Network([Dense(4, 1, rng=2)])
+        opt = Adam(net.parameters(), lr=0.02)
+        hist = Trainer(net, MSELoss(), opt, rng=4).fit(
+            {"x": x, "y": y}, epochs=20, scheduler=CosineLR(opt, total_epochs=20)
+        )
+        assert opt.lr < 1e-6  # fully annealed
+        assert np.isfinite(hist.train_loss).all()
+        assert hist.train_loss[-1] < hist.train_loss[0]
