@@ -4,6 +4,26 @@ simulation.
 Reproduction of Dong, Liu, Xie & Li, "Adaptive Neural Network-Based
 Approximation to Accelerate Eulerian Fluid Simulation" (SC '19).
 
+Public surface
+--------------
+This package root is the stable facade: the names in ``__all__`` are the
+supported entry points and keep working across refactors.
+
+* simulation — :class:`FluidSimulator`, :class:`SimulationConfig`,
+  :class:`SimulationResult`;
+* solvers — :class:`PressureSolver` (the protocol), :class:`PCGSolver`,
+  :class:`JacobiSolver`, :class:`MultigridSolver`,
+  :class:`NNProjectionSolver`, :class:`SolveResult`;
+* the framework — :class:`SmartFluidnet`, :class:`UserRequirement`,
+  :class:`OfflineConfig`;
+* observability — the :mod:`repro.metrics` runtime-metrics module
+  (:class:`MetricsRegistry`, :func:`get_metrics`) and
+  :func:`repro.benchmark.run_bench`.
+
+Any other public name of :mod:`repro.fluid`, :mod:`repro.core` or
+:mod:`repro.nn` remains reachable from the root through a deprecation shim
+(emits :class:`DeprecationWarning`; import from the subpackage instead).
+
 Subpackages
 -----------
 ``repro.fluid``
@@ -24,12 +44,75 @@ Subpackages
     Auto-Keras-style accurate-model search, Pareto selection, the
     success-rate MLP, Eq. 8 filtering, the CumDivNorm/KNN quality
     predictors, and the quality-aware model-switch runtime (Algorithm 2).
+``repro.metrics``
+    Runtime counters/timers with hierarchical scopes and JSON export.
+``repro.benchmark``
+    The ``repro bench`` performance suite (writes ``BENCH_*.json``).
 ``repro.experiments``
     One module per table/figure of the paper's evaluation.
 """
 
+from __future__ import annotations
+
+import warnings
+
+from . import metrics
+from .metrics import MetricsRegistry, get_metrics
 from .core import OfflineConfig, SmartFluidnet, UserRequirement
+from .fluid import (
+    FluidSimulator,
+    JacobiSolver,
+    MultigridSolver,
+    PCGSolver,
+    PressureSolver,
+    SimulationConfig,
+    SimulationResult,
+    SolveResult,
+)
+from .models import NNProjectionSolver
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["SmartFluidnet", "UserRequirement", "OfflineConfig", "__version__"]
+__all__ = [
+    # framework
+    "SmartFluidnet",
+    "UserRequirement",
+    "OfflineConfig",
+    # simulation
+    "FluidSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    # solver protocol + implementations
+    "PressureSolver",
+    "SolveResult",
+    "PCGSolver",
+    "JacobiSolver",
+    "MultigridSolver",
+    "NNProjectionSolver",
+    # observability
+    "metrics",
+    "MetricsRegistry",
+    "get_metrics",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Deprecation shim: resolve moved/unlisted names from the subpackages.
+
+    Keeps historical root-level access (e.g. ``repro.MIC0Preconditioner``)
+    working while steering callers to the canonical import location.
+    """
+    import importlib
+
+    for subpackage in ("fluid", "core", "nn"):
+        mod = importlib.import_module(f"repro.{subpackage}")
+        if name in getattr(mod, "__all__", ()):
+            warnings.warn(
+                f"importing {name!r} from 'repro' is deprecated; "
+                f"use 'repro.{subpackage}.{name}' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return getattr(mod, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,224 @@
+"""The ``repro bench`` performance suite.
+
+Runs a fixed set of solver / simulation / inference benchmarks and writes a
+machine-readable ``BENCH_<tag>.json``, establishing the repo's performance
+trajectory across PRs.  Each benchmark reports wall-clock seconds (min over
+repeats, which is robust to scheduler noise) and, where two code paths are
+compared, their speedup ratio.
+
+Benchmarks
+----------
+``pcg_geometry_cache``
+    Repeated-geometry PCG: the same Poisson problem solved with the MIC(0)
+    factorisation + wavefront schedule rebuilt every call (cold,
+    ``reset()`` before each solve) vs. reused from the solver's mask-keyed
+    cache (cached).  The cached path does strictly less work, so its
+    speedup is the direct payoff of the caching layer.
+``pcg_warm_start``
+    A short smoke simulation solved with history-independent zero initial
+    guesses vs. warm-starting CG from the previous step's pressure;
+    reports iteration and solve-time ratios.
+``simulation_step``
+    End-to-end simulator steps with the exact solver, with the full
+    per-phase metrics profile attached.
+``nn_inference``
+    Repeated CNN inference on a fixed input: first call (buffers
+    allocated) vs. steady state (im2col workspaces reused).
+
+Scales
+------
+``ci`` runs in a few seconds and is wired into the test suite as a smoke
+test (marker ``bench``); ``default`` is the standard tracking run;
+``paper`` uses paper-sized grids.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
+
+SCHEMA = "repro-bench/v1"
+#: tag of the BENCH_<tag>.json this PR emits
+DEFAULT_TAG = "pr1"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes of one benchmark scale."""
+
+    grid: int
+    solve_reps: int
+    sim_steps: int
+    infer_reps: int
+
+
+SCALES: dict[str, BenchScale] = {
+    "ci": BenchScale(grid=32, solve_reps=3, sim_steps=3, infer_reps=4),
+    "default": BenchScale(grid=64, solve_reps=5, sim_steps=8, infer_reps=10),
+    "paper": BenchScale(grid=128, solve_reps=7, sim_steps=16, infer_reps=20),
+}
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _poisson_problem(grid_size: int, seed: int):
+    """A reproducible solid mask + compatible Poisson right-hand side."""
+    from repro.data import InputProblem
+
+    grid, _ = InputProblem(grid_size, seed).materialize()
+    rng = np.random.default_rng(seed + 1)
+    b = np.where(grid.fluid, rng.standard_normal(grid.solid.shape), 0.0)
+    return grid.solid, b
+
+
+def _bench_pcg_geometry_cache(scale: BenchScale, seed: int = 0, tol: float = 1e-3) -> dict:
+    """Cold (rebuild MIC(0) each solve) vs. cached repeated-geometry PCG.
+
+    Uses a simulation-grade tolerance: per-step pressure solves in a smoke
+    run are exactly the repeated-geometry, moderate-accuracy workload the
+    cache is built for.
+    """
+    from repro.fluid import MIC0Preconditioner, PCGSolver
+    from repro.metrics import MetricsRegistry
+
+    solid, b = _poisson_problem(scale.grid, seed)
+    metrics = MetricsRegistry()
+    solver = PCGSolver(tol=tol, metrics=metrics)
+
+    cold_times, cached_times = [], []
+    for _ in range(scale.solve_reps):
+        solver.reset()
+        cold_times.append(_time(lambda: solver.solve(b, solid)))
+    solver.reset()
+    res = solver.solve(b, solid)  # prime the cache outside the timed region
+    for _ in range(scale.solve_reps):
+        cached_times.append(_time(lambda: solver.solve(b, solid)))
+    setup = min(_time(lambda: MIC0Preconditioner(solid)) for _ in range(scale.solve_reps))
+
+    cold, cached = min(cold_times), min(cached_times)
+    return {
+        "name": "pcg_geometry_cache",
+        "params": {"grid": scale.grid, "reps": scale.solve_reps, "seed": seed, "tol": tol},
+        "cold_seconds": cold,
+        "cached_seconds": cached,
+        "setup_seconds": setup,
+        "speedup": cold / cached if cached > 0 else float("inf"),
+        "iterations": res.iterations,
+        "converged": res.converged,
+        "cache_hits": metrics.counter("cache/mic0/hit"),
+        "cache_misses": metrics.counter("cache/mic0/miss"),
+    }
+
+
+def _bench_pcg_warm_start(scale: BenchScale, seed: int = 0) -> dict:
+    """Zero-initial-guess vs. warm-started PCG across simulation steps."""
+    from repro.data import InputProblem
+    from repro.fluid import FluidSimulator, PCGSolver
+    from repro.metrics import NULL_METRICS
+
+    def run(warm: bool):
+        grid, source = InputProblem(scale.grid, seed).materialize()
+        solver = PCGSolver(warm_start=warm, metrics=NULL_METRICS)
+        sim = FluidSimulator(grid, solver, source, metrics=NULL_METRICS)
+        result = sim.run(scale.sim_steps)
+        iters = sum(r.projection.iterations for r in result.records)
+        return iters, result.solve_seconds, result
+
+    cold_iters, cold_seconds, _ = run(warm=False)
+    warm_iters, warm_seconds, _ = run(warm=True)
+    return {
+        "name": "pcg_warm_start",
+        "params": {"grid": scale.grid, "steps": scale.sim_steps, "seed": seed},
+        "cold_iterations": cold_iters,
+        "warm_iterations": warm_iters,
+        "cold_solve_seconds": cold_seconds,
+        "warm_solve_seconds": warm_seconds,
+        "iteration_ratio": cold_iters / warm_iters if warm_iters else float("inf"),
+    }
+
+
+def _bench_simulation_step(scale: BenchScale, seed: int = 0) -> dict:
+    """End-to-end simulator steps with the full metrics profile attached."""
+    from repro.data import InputProblem
+    from repro.fluid import FluidSimulator, PCGSolver
+    from repro.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    grid, source = InputProblem(scale.grid, seed).materialize()
+    sim = FluidSimulator(
+        grid, PCGSolver(metrics=metrics), source, metrics=metrics
+    )
+    result = sim.run(scale.sim_steps)
+    return {
+        "name": "simulation_step",
+        "params": {"grid": scale.grid, "steps": scale.sim_steps, "seed": seed},
+        "total_seconds": result.total_seconds,
+        "seconds_per_step": result.total_seconds / scale.sim_steps,
+        "solve_seconds": result.solve_seconds,
+        "metrics": metrics.to_dict(),
+    }
+
+
+def _bench_nn_inference(scale: BenchScale, seed: int = 0) -> dict:
+    """CNN inference: first call (allocating) vs. steady state (reused)."""
+    from repro.nn import Conv2d, Network, ReLU
+
+    net = Network(
+        [Conv2d(2, 8, rng=seed), ReLU(), Conv2d(8, 8, rng=seed + 1), ReLU(), Conv2d(8, 1, rng=seed + 2)]
+    )
+    x = np.random.default_rng(seed).standard_normal((1, 2, scale.grid, scale.grid))
+    first = _time(lambda: net.forward(x, training=False))
+    steady = min(
+        _time(lambda: net.forward(x, training=False)) for _ in range(scale.infer_reps)
+    )
+    reuses = sum(
+        layer.workspace_reuses for layer in net.layers if isinstance(layer, Conv2d)
+    )
+    return {
+        "name": "nn_inference",
+        "params": {"grid": scale.grid, "reps": scale.infer_reps, "seed": seed},
+        "first_call_seconds": first,
+        "steady_state_seconds": steady,
+        "speedup": first / steady if steady > 0 else float("inf"),
+        "workspace_reuses": reuses,
+    }
+
+
+def run_bench(scale: str = "default", seed: int = 0) -> dict:
+    """Run the whole suite at one scale and return the report dict."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    s = SCALES[scale]
+    benchmarks = [
+        _bench_pcg_geometry_cache(s, seed),
+        _bench_pcg_warm_start(s, seed),
+        _bench_simulation_step(s, seed),
+        _bench_nn_inference(s, seed),
+    ]
+    return {
+        "schema": SCHEMA,
+        "tag": DEFAULT_TAG,
+        "scale": scale,
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_bench(report: dict, output: str | Path) -> Path:
+    """Write a benchmark report as JSON; returns the path written."""
+    path = Path(output)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

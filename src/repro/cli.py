@@ -7,11 +7,18 @@ Commands
 ``offline``      build the Smart-fluidnet offline phase and save it
 ``report``       run every experiment and write one combined report
 ``adaptive``     run the adaptive online phase from a saved framework
+``bench``        run the performance suite and write ``BENCH_<tag>.json``
+
+``simulate`` and ``adaptive`` accept ``--json`` for structured output: the
+per-step records plus the run's full metrics profile, suitable for piping
+into analysis tools.  The common ``--grid/--seed/--steps`` options are
+defined once on shared parent parsers.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -35,65 +42,140 @@ _EXPERIMENTS = {
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    # shared options: every problem-running command takes the same
+    # --grid/--seed (and, where stepping, --steps) arguments
+    problem = argparse.ArgumentParser(add_help=False)
+    problem.add_argument("--grid", type=int, default=32, help="grid resolution (NxN)")
+    problem.add_argument("--seed", type=int, default=0, help="input-problem seed")
+    stepping = argparse.ArgumentParser(add_help=False)
+    stepping.add_argument("--steps", type=int, default=16, help="simulation steps")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Smart-fluidnet reproduction (SC'19) command-line interface",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="run one smoke-plume input problem")
-    sim.add_argument("--grid", type=int, default=32)
-    sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--steps", type=int, default=16)
-    sim.add_argument("--solver", choices=["pcg", "jacobi-pcg", "multigrid"], default="pcg")
+    sim = sub.add_parser(
+        "simulate", parents=[problem, stepping], help="run one smoke-plume input problem"
+    )
+    sim.add_argument(
+        "--solver", choices=["pcg", "jacobi-pcg", "jacobi", "multigrid"], default="pcg"
+    )
+    sim.add_argument(
+        "--warm-start", action="store_true",
+        help="warm-start PCG from the previous step's pressure",
+    )
     sim.add_argument("--ascii", action="store_true", help="print an ASCII rendering")
     sim.add_argument("--pgm", type=str, default=None, help="save the final frame as PGM")
+    sim.add_argument(
+        "--json", action="store_true",
+        help="emit step records + metrics profile as JSON on stdout",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure of the paper")
     exp.add_argument("name", choices=sorted(_EXPERIMENTS))
     exp.add_argument("--scale", choices=["ci", "default", "paper"], default=None)
 
-    off = sub.add_parser("offline", help="build the offline phase and save it")
+    off = sub.add_parser(
+        "offline", parents=[problem], help="build the offline phase and save it"
+    )
     off.add_argument("output", type=str, help="directory to save the framework into")
-    off.add_argument("--grid", type=int, default=32)
-    off.add_argument("--seed", type=int, default=0)
 
     rep = sub.add_parser("report", help="run every experiment and write one report")
     rep.add_argument("--scale", choices=["ci", "default", "paper"], default=None)
     rep.add_argument("--output", type=str, default=None)
 
-    ada = sub.add_parser("adaptive", help="run the adaptive phase from a saved framework")
+    ada = sub.add_parser(
+        "adaptive",
+        parents=[problem, stepping],
+        help="run the adaptive phase from a saved framework",
+    )
     ada.add_argument("framework", type=str, help="directory saved by 'offline'")
-    ada.add_argument("--grid", type=int, default=32)
-    ada.add_argument("--seed", type=int, default=0)
-    ada.add_argument("--steps", type=int, default=16)
+    ada.add_argument(
+        "--json", action="store_true",
+        help="emit run statistics + metrics profile as JSON on stdout",
+    )
+
+    ben = sub.add_parser(
+        "bench", help="run the performance suite and write BENCH_<tag>.json"
+    )
+    ben.add_argument("--scale", choices=["ci", "default", "paper"], default="default")
+    ben.add_argument("--seed", type=int, default=0)
+    ben.add_argument(
+        "--output", type=str, default=None,
+        help="output JSON path (default: BENCH_<tag>.json in the current directory)",
+    )
     return parser
+
+
+def _step_dict(rec) -> dict:
+    """One StepRecord as a plain-JSON dict."""
+    return {
+        "step": rec.step,
+        "divnorm": rec.divnorm,
+        "step_seconds": rec.step_seconds,
+        "solver": rec.projection.solver_name,
+        "solve_seconds": rec.projection.solve_seconds,
+        "iterations": rec.projection.iterations,
+        "converged": rec.projection.converged,
+        "pre_divergence": rec.projection.pre_divergence,
+        "post_divergence": rec.projection.post_divergence,
+        "flops": rec.projection.flops,
+    }
 
 
 def _cmd_simulate(args) -> int:
     from repro.data import InputProblem
-    from repro.fluid import FluidSimulator, MultigridSolver, PCGSolver
+    from repro.fluid import FluidSimulator, JacobiSolver, MultigridSolver, PCGSolver
+    from repro.metrics import MetricsRegistry
     from repro import viz
 
+    metrics = MetricsRegistry()
     solver = {
-        "pcg": lambda: PCGSolver(),
-        "jacobi-pcg": lambda: PCGSolver(preconditioner="jacobi"),
-        "multigrid": lambda: MultigridSolver(),
+        "pcg": lambda: PCGSolver(warm_start=args.warm_start, metrics=metrics),
+        "jacobi-pcg": lambda: PCGSolver(
+            preconditioner="jacobi", warm_start=args.warm_start, metrics=metrics
+        ),
+        "jacobi": lambda: JacobiSolver(metrics=metrics),
+        "multigrid": lambda: MultigridSolver(metrics=metrics),
     }[args.solver]()
     grid, source = InputProblem(args.grid, args.seed).materialize()
-    sim = FluidSimulator(grid, solver, source)
+    sim = FluidSimulator(grid, solver, source, metrics=metrics)
     t0 = time.perf_counter()
     result = sim.run(args.steps)
     dt = time.perf_counter() - t0
-    print(
-        f"{args.grid}x{args.grid}, {args.steps} steps with {args.solver}: "
-        f"{dt:.2f}s total, {result.solve_seconds:.2f}s in the pressure solver"
-    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "command": "simulate",
+                    "config": {
+                        "grid": args.grid,
+                        "seed": args.seed,
+                        "steps": args.steps,
+                        "solver": args.solver,
+                        "warm_start": args.warm_start,
+                    },
+                    "total_seconds": dt,
+                    "solve_seconds": result.solve_seconds,
+                    "steps": [_step_dict(r) for r in result.records],
+                    "metrics": metrics.to_dict(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"{args.grid}x{args.grid}, {args.steps} steps with {args.solver}: "
+            f"{dt:.2f}s total, {result.solve_seconds:.2f}s in the pressure solver"
+        )
     if args.ascii:
         print(viz.to_ascii(result.density))
     if args.pgm:
         path = viz.save_pgm(result.density, args.pgm)
-        print(f"wrote {path}")
+        if not args.json:
+            print(f"wrote {path}")
     return 0
 
 
@@ -136,14 +218,63 @@ def _cmd_report(args) -> int:
 def _cmd_adaptive(args) -> int:
     from repro.data import InputProblem
     from repro.io import load_framework
+    from repro.metrics import MetricsRegistry, set_metrics
 
-    framework = load_framework(args.framework)
-    run = framework.run(InputProblem(args.grid, args.seed), args.steps)
+    metrics = MetricsRegistry()
+    previous = set_metrics(metrics)  # capture instrumentation of the whole run
+    try:
+        framework = load_framework(args.framework)
+        run = framework.run(InputProblem(args.grid, args.seed), args.steps)
+    finally:
+        set_metrics(previous)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "command": "adaptive",
+                    "config": {"grid": args.grid, "seed": args.seed, "steps": args.steps},
+                    "requirement_qloss": framework.requirement.q,
+                    "restarted": run.restarted,
+                    "total_seconds": run.total_seconds,
+                    "solve_seconds": run.solve_seconds,
+                    "steps_per_model": run.stats.steps_per_model,
+                    "solve_seconds_per_model": run.stats.solve_seconds_per_model,
+                    "switches": [
+                        {
+                            "step": sw.step,
+                            "from": sw.from_model,
+                            "to": sw.to_model,
+                            "predicted_qloss": sw.predicted_qloss,
+                        }
+                        for sw in run.stats.switches
+                    ],
+                    "steps": [_step_dict(r) for r in run.result.records],
+                    "metrics": metrics.to_dict(),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"requirement: qloss <= {framework.requirement.q:.4f}")
     print(f"restarted: {run.restarted}")
     print(f"steps per model: {run.stats.steps_per_model}")
     for sw in run.stats.switches:
         print(f"  step {sw.step}: {sw.from_model} -> {sw.to_model}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.benchmark import DEFAULT_TAG, run_bench, write_bench
+
+    report = run_bench(scale=args.scale, seed=args.seed)
+    output = args.output or f"BENCH_{DEFAULT_TAG}.json"
+    path = write_bench(report, output)
+    cache = next(b for b in report["benchmarks"] if b["name"] == "pcg_geometry_cache")
+    print(
+        f"wrote {path} ({args.scale} scale): repeated-geometry PCG speedup "
+        f"{cache['speedup']:.3f}x (cold {cache['cold_seconds']:.4f}s, "
+        f"cached {cache['cached_seconds']:.4f}s)"
+    )
     return 0
 
 
@@ -156,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
         "offline": _cmd_offline,
         "report": _cmd_report,
         "adaptive": _cmd_adaptive,
+        "bench": _cmd_bench,
     }[args.command](args)
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.fluid import FluidSimulator, RestartRequested, StepRecord
+from repro.metrics import MetricsRegistry, get_metrics
 
 from .knn import QlossKNNPredictor
 from .regression import predict_final_cumdivnorm
@@ -78,6 +79,7 @@ class AdaptiveController:
         passes: int = 2,
         use_mlp_start: bool = True,
         upgrade_only: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         if not candidates:
             raise ValueError("need at least one candidate model")
@@ -94,6 +96,7 @@ class AdaptiveController:
         self.downshift_margin = downshift_margin
         self.passes = passes
         self.upgrade_only = upgrade_only
+        self._metrics = metrics
         self._satisfied = False
 
         if use_mlp_start:
@@ -137,6 +140,8 @@ class AdaptiveController:
         if step + 1 >= self.total_steps:
             return
 
+        m = self._metrics if self._metrics is not None else get_metrics()
+        m.inc("adaptive/checks")
         cdn_final = predict_final_cumdivnorm(
             np.asarray(self._cumdivnorm),
             self.total_steps,
@@ -147,6 +152,7 @@ class AdaptiveController:
         except KeyError:
             return  # no database for this model; keep running
         self.stats.predictions.append((step, q_pred))
+        m.inc("adaptive/predictions")
         self._decide(sim, step, q_pred)
 
     # ------------------------------------------------------------------
@@ -154,6 +160,8 @@ class AdaptiveController:
         old = self.current.name
         self._idx = new_idx
         sim.solver = self._solvers[self.current.name]
+        m = self._metrics if self._metrics is not None else get_metrics()
+        m.inc("adaptive/switches")
         self.stats.switches.append(
             SwitchEvent(step=step, from_model=old, to_model=self.current.name, predicted_qloss=q_pred)
         )
@@ -180,6 +188,8 @@ class AdaptiveController:
             self._switch(sim, step, self._idx + 1, q_pred)
         else:
             self.stats.restart_requested = True
+            m = self._metrics if self._metrics is not None else get_metrics()
+            m.inc("adaptive/restarts")
             raise RestartRequested(
                 f"predicted qloss {q_pred:.4g} exceeds requirement {self.q:.4g} "
                 "and no more accurate model is available"

@@ -9,7 +9,8 @@ alternatives).
 from .grid import CellType, MACGrid2D
 from .operators import divergence, pressure_gradient_update, apply_laplacian
 from .laplacian import PoissonSystem, build_poisson_system, stencil_arrays, poisson_rhs
-from .pcg import MIC0Preconditioner, PCGSolver, SolveResult, jacobi_solve
+from .solver_api import MaskKeyedCache
+from .pcg import JacobiSolver, MIC0Preconditioner, PCGSolver, SolveResult, jacobi_solve
 from .multigrid import MultigridSolver, build_hierarchy, vcycle
 from .advection import advect_scalar, advect_velocity, maccormack_scalar
 from .forces import add_buoyancy, add_gravity, add_vorticity_confinement
@@ -43,8 +44,10 @@ __all__ = [
     "build_poisson_system",
     "stencil_arrays",
     "poisson_rhs",
+    "MaskKeyedCache",
     "MIC0Preconditioner",
     "PCGSolver",
+    "JacobiSolver",
     "SolveResult",
     "jacobi_solve",
     "MultigridSolver",

@@ -26,13 +26,34 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from .solver_api import MaskKeyedCache
+
 __all__ = [
     "PoissonSystem",
     "build_poisson_system",
     "stencil_arrays",
     "poisson_rhs",
+    "fluid_components",
     "remove_nullspace",
 ]
+
+_components_cache = MaskKeyedCache("fluid_components")
+
+
+def fluid_components(solid: np.ndarray) -> tuple[np.ndarray, int]:
+    """Connected fluid components of a mask: ``(labels, count)``.
+
+    Labelling depends only on the geometry, so the result is cached per
+    solid mask — ``remove_nullspace`` runs on every solve's right-hand side
+    and solution, making this a hot path.
+    """
+
+    def build():
+        from scipy.ndimage import label
+
+        return label(~solid)
+
+    return _components_cache.get(solid, build)
 
 
 def remove_nullspace(field: np.ndarray, solid: np.ndarray) -> np.ndarray:
@@ -45,14 +66,16 @@ def remove_nullspace(field: np.ndarray, solid: np.ndarray) -> np.ndarray:
     component — a single global mean leaves the system inconsistent and CG
     diverges.  Returns a new array, zero on solids.
     """
-    from scipy.ndimage import label
-
     fluid = ~solid
     out = np.where(fluid, field, 0.0)
-    labels, n = label(fluid)
-    for comp in range(1, n + 1):
-        mask = labels == comp
-        out[mask] -= out[mask].mean()
+    labels, n = fluid_components(solid)
+    if n:
+        flat = labels.ravel()
+        sums = np.bincount(flat, weights=out.ravel(), minlength=n + 1)
+        counts = np.bincount(flat, minlength=n + 1)
+        means = sums / np.maximum(counts, 1)
+        means[0] = 0.0  # label 0 is the solid background
+        out -= means[labels]
     return out
 
 

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.metrics import MetricsRegistry, get_metrics
+
 from .operators import apply_laplacian
 from .laplacian import remove_nullspace, stencil_arrays
-from .pcg import SolveResult
+from .solver_api import MaskKeyedCache, PressureSolver, SolveResult
 
 __all__ = ["MultigridSolver", "vcycle", "build_hierarchy"]
 
@@ -124,32 +126,46 @@ def vcycle(
     return _smooth(level, p, b, post_sweeps)
 
 
-class MultigridSolver:
+class MultigridSolver(PressureSolver):
     """Standalone multigrid pressure solver (V-cycles until tolerance).
 
-    Interface-compatible with :class:`repro.fluid.pcg.PCGSolver`.
+    The coarsening hierarchy (per-level masks, smoother diagonals and
+    checkerboard colourings) is cached per solid mask and rebuilt only when
+    the geometry changes.
     """
 
     name = "multigrid"
 
-    def __init__(self, tol: float = 1e-5, max_cycles: int = 60, max_levels: int = 3):
+    def __init__(
+        self,
+        tol: float = 1e-5,
+        max_cycles: int = 60,
+        max_levels: int = 3,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.tol = tol
         self.max_cycles = max_cycles
         self.max_levels = max_levels
-        self._cache_key: bytes | None = None
-        self._levels: list[_Level] | None = None
+        self._metrics = metrics
+        self._hierarchy_cache = MaskKeyedCache("mg_hierarchy")
 
-    def _hierarchy(self, solid: np.ndarray) -> list[_Level]:
-        key = solid.tobytes()
-        if self._cache_key != key:
-            self._levels = build_hierarchy(solid, self.max_levels)
-            self._cache_key = key
-        assert self._levels is not None
-        return self._levels
+    def reset(self) -> None:
+        """Drop the cached coarsening hierarchy."""
+        self._hierarchy_cache.clear()
 
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Iterate V-cycles until the residual drops below tolerance."""
-        levels = self._hierarchy(solid)
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        with metrics.timer(f"solver/{self.name}/solve"):
+            result = self._solve(b, solid, metrics)
+        metrics.inc(f"solver/{self.name}/solves")
+        metrics.inc(f"solver/{self.name}/iterations", result.iterations)
+        return result
+
+    def _solve(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
+        levels = self._hierarchy_cache.get(
+            solid, lambda: build_hierarchy(solid, self.max_levels), metrics
+        )
         fluid = ~solid
         b = remove_nullspace(b, solid)
         bnorm = float(np.abs(b[fluid]).max()) if fluid.any() else 0.0

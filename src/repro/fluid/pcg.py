@@ -8,30 +8,34 @@ The triangular solves of the preconditioner are sequential recurrences; we
 vectorise them with a wavefront sweep over anti-diagonals (cells with equal
 ``x + y`` are mutually independent), which keeps the solver pure NumPy while
 avoiding a per-cell Python loop.
+
+Runtime caching: :class:`PCGSolver` keeps the MIC(0) factorisation (which
+embeds the wavefront schedule) in a :class:`~repro.fluid.solver_api.MaskKeyedCache`
+keyed on the solid mask, so consecutive solves on the same geometry — the
+common case inside a simulation — skip the setup entirely.  With
+``warm_start=True`` the solver additionally seeds CG with the previous
+step's pressure, which typically saves iterations because consecutive
+pressure fields are strongly correlated; it is off by default so results on
+identical inputs are bit-for-bit reproducible regardless of solver history.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
+
+from repro.metrics import MetricsRegistry, get_metrics
 
 from .operators import apply_laplacian
 from .laplacian import remove_nullspace, stencil_arrays
+from .solver_api import MaskKeyedCache, PressureSolver, SolveResult
 
-__all__ = ["SolveResult", "MIC0Preconditioner", "PCGSolver", "jacobi_solve"]
-
-
-@dataclass
-class SolveResult:
-    """Outcome of a pressure solve."""
-
-    pressure: np.ndarray
-    iterations: int
-    converged: bool
-    residual_norm: float
-    flops: float = 0.0
-    residual_history: list[float] = field(default_factory=list)
+__all__ = [
+    "SolveResult",
+    "MIC0Preconditioner",
+    "PCGSolver",
+    "JacobiSolver",
+    "jacobi_solve",
+]
 
 
 def _wavefronts(mask: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -111,7 +115,7 @@ class MIC0Preconditioner:
         return z
 
 
-class PCGSolver:
+class PCGSolver(PressureSolver):
     """PCG pressure solver (the paper's baseline 'PCG' method).
 
     Parameters
@@ -122,6 +126,13 @@ class PCGSolver:
         Iteration cap; the solver reports non-convergence beyond it.
     preconditioner:
         ``"mic0"`` (default), ``"jacobi"`` or ``"none"``.
+    warm_start:
+        Seed CG with the previous solve's pressure when the geometry is
+        unchanged.  Converges to the same tolerance in (typically) fewer
+        iterations; off by default for history-independent results.
+    metrics:
+        Registry receiving solver counters/timers; defaults to the
+        process-wide registry.
     """
 
     name = "pcg"
@@ -131,37 +142,59 @@ class PCGSolver:
         tol: float = 1e-5,
         max_iterations: int = 2000,
         preconditioner: str = "mic0",
+        warm_start: bool = False,
+        metrics: MetricsRegistry | None = None,
     ):
         if preconditioner not in ("mic0", "jacobi", "none"):
             raise ValueError(f"unknown preconditioner {preconditioner!r}")
         self.tol = tol
         self.max_iterations = max_iterations
         self.preconditioner = preconditioner
-        self._cache_key: bytes | None = None
-        self._mic: MIC0Preconditioner | None = None
+        self.warm_start = warm_start
+        self._metrics = metrics
+        self._mic_cache = MaskKeyedCache("mic0")
+        self._jacobi_cache = MaskKeyedCache("jacobi_diag")
+        self._prev_pressure: np.ndarray | None = None
+        self._prev_key: tuple | None = None
 
-    def _precondition(self, solid: np.ndarray):
-        key = solid.tobytes()
+    def reset(self) -> None:
+        """Drop the cached factorisation and the warm-start seed."""
+        self._mic_cache.clear()
+        self._jacobi_cache.clear()
+        self._prev_pressure = None
+        self._prev_key = None
+
+    def _precondition(self, solid: np.ndarray, metrics: MetricsRegistry):
         if self.preconditioner == "mic0":
-            if self._cache_key != key:
-                self._mic = MIC0Preconditioner(solid)
-                self._cache_key = key
-            return self._mic.apply
+            mic = self._mic_cache.get(solid, lambda: MIC0Preconditioner(solid), metrics)
+            return mic.apply
         if self.preconditioner == "jacobi":
-            adiag, _, _ = stencil_arrays(solid)
-            inv = np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
+            def build() -> np.ndarray:
+                adiag, _, _ = stencil_arrays(solid)
+                return np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
+
+            inv = self._jacobi_cache.get(solid, build, metrics)
             return lambda r: r * inv
         return lambda r: r
 
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Solve ``A p = b`` on fluid cells; returns mean-zero pressure."""
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        with metrics.timer(f"solver/{self.name}/solve"):
+            result = self._solve(b, solid, metrics)
+        metrics.inc(f"solver/{self.name}/solves")
+        metrics.inc(f"solver/{self.name}/iterations", result.iterations)
+        return result
+
+    def _solve(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
         fluid = ~solid
         nf = int(fluid.sum())
-        apply_m = self._precondition(solid)
+        apply_m = self._precondition(solid, metrics)
 
         # compatibility projection: remove the per-component null space
         b = remove_nullspace(b, solid)
 
+        geo_key = MaskKeyedCache.key_of(solid)
         p = np.zeros_like(b)
         r = b.copy()
         bnorm = float(np.abs(b[fluid]).max()) if nf else 0.0
@@ -170,54 +203,107 @@ class PCGSolver:
             return SolveResult(p, 0, True, 0.0, 0.0, history)
         tol_abs = self.tol * bnorm
 
-        z = apply_m(r)
-        s = z.copy()
-        sigma = float((z[fluid] * r[fluid]).sum())
+        if self.warm_start and self._prev_pressure is not None and self._prev_key == geo_key:
+            p = self._prev_pressure.copy()
+            r = b - apply_laplacian(p, solid)
+            r[~fluid] = 0.0
+            metrics.inc(f"solver/{self.name}/warm_starts")
+
+        rnorm = float(np.abs(r[fluid]).max())
         flops = 0.0
         it = 0
-        converged = False
-        for it in range(1, self.max_iterations + 1):
-            w = apply_laplacian(s, solid)
-            denom = float((w[fluid] * s[fluid]).sum())
-            if abs(denom) < 1e-300:
-                break
-            alpha = sigma / denom
-            p += alpha * s
-            r -= alpha * w
-            flops += 40.0 * nf
-            rnorm = float(np.abs(r[fluid]).max())
-            history.append(rnorm)
-            if rnorm <= tol_abs:
-                converged = True
-                break
+        converged = rnorm <= tol_abs  # a warm start may already satisfy tol
+        if not converged:
             z = apply_m(r)
-            sigma_new = float((z[fluid] * r[fluid]).sum())
-            beta = sigma_new / sigma
-            s = z + beta * s
-            sigma = sigma_new
+            s = z.copy()
+            sigma = float((z[fluid] * r[fluid]).sum())
+            for it in range(1, self.max_iterations + 1):
+                w = apply_laplacian(s, solid)
+                denom = float((w[fluid] * s[fluid]).sum())
+                if abs(denom) < 1e-300:
+                    break
+                alpha = sigma / denom
+                p += alpha * s
+                r -= alpha * w
+                flops += 40.0 * nf
+                rnorm = float(np.abs(r[fluid]).max())
+                history.append(rnorm)
+                if rnorm <= tol_abs:
+                    converged = True
+                    break
+                z = apply_m(r)
+                sigma_new = float((z[fluid] * r[fluid]).sum())
+                beta = sigma_new / sigma
+                s = z + beta * s
+                sigma = sigma_new
 
         p = remove_nullspace(p, solid)
+        if self.warm_start:
+            self._prev_pressure = p.copy()
+            self._prev_key = geo_key
         rnorm = float(np.abs(r[fluid]).max())
         return SolveResult(p, it, converged, rnorm, flops, history)
+
+
+class JacobiSolver(PressureSolver):
+    """Weighted-Jacobi iteration on the Poisson system (cheap baseline).
+
+    Class-form of the historical :func:`jacobi_solve` helper, conforming to
+    the :class:`~repro.fluid.solver_api.PressureSolver` protocol and caching
+    the inverse stencil diagonal per geometry.
+    """
+
+    name = "jacobi"
+
+    def __init__(
+        self,
+        iterations: int = 200,
+        tol: float = 0.0,
+        omega: float = 0.8,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.iterations = iterations
+        self.tol = tol
+        self.omega = omega
+        self._metrics = metrics
+        self._diag_cache = MaskKeyedCache("jacobi_diag")
+
+    def reset(self) -> None:
+        """Drop the cached inverse diagonal."""
+        self._diag_cache.clear()
+
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
+        """Run (damped) Jacobi sweeps; converged only if ``tol`` was hit."""
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        fluid = ~solid
+
+        def build() -> np.ndarray:
+            adiag, _, _ = stencil_arrays(solid)
+            return np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
+
+        with metrics.timer(f"solver/{self.name}/solve"):
+            inv = self._diag_cache.get(solid, build, metrics)
+            b = np.where(fluid, b, 0.0)
+            p = np.zeros_like(b)
+            it = 0
+            rnorm = float(np.abs(b[fluid]).max()) if fluid.any() else 0.0
+            for it in range(1, self.iterations + 1):
+                r = b - apply_laplacian(p, solid)
+                rnorm = float(np.abs(r[fluid]).max()) if fluid.any() else 0.0
+                if self.tol and rnorm <= self.tol:
+                    break
+                p = p + self.omega * inv * r
+            if fluid.any():
+                p = np.where(fluid, p - p[fluid].mean(), 0.0)
+        metrics.inc(f"solver/{self.name}/solves")
+        metrics.inc(f"solver/{self.name}/iterations", it)
+        return SolveResult(
+            p, it, bool(self.tol and rnorm <= self.tol), rnorm, 12.0 * it * float(fluid.sum())
+        )
 
 
 def jacobi_solve(
     b: np.ndarray, solid: np.ndarray, iterations: int = 200, tol: float = 0.0
 ) -> SolveResult:
-    """Weighted-Jacobi iteration on the Poisson system (cheap baseline)."""
-    fluid = ~solid
-    adiag, _, _ = stencil_arrays(solid)
-    inv = np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
-    b = np.where(fluid, b, 0.0)
-    p = np.zeros_like(b)
-    it = 0
-    rnorm = float(np.abs(b[fluid]).max()) if fluid.any() else 0.0
-    for it in range(1, iterations + 1):
-        r = b - apply_laplacian(p, solid)
-        rnorm = float(np.abs(r[fluid]).max()) if fluid.any() else 0.0
-        if tol and rnorm <= tol:
-            break
-        p = p + 0.8 * inv * r
-    if fluid.any():
-        p = np.where(fluid, p - p[fluid].mean(), 0.0)
-    return SolveResult(p, it, bool(tol and rnorm <= tol), rnorm, 12.0 * it * float(fluid.sum()))
+    """Functional wrapper around :class:`JacobiSolver` (kept for back-compat)."""
+    return JacobiSolver(iterations=iterations, tol=tol).solve(b, solid)

@@ -1,36 +1,30 @@
 """Pressure projection (Algorithm 1, line 6) with pluggable solvers.
 
-A *pressure solver* is any object with ``solve(b, solid) -> SolveResult`` and
-a ``name`` attribute, where ``b`` is the Poisson right-hand side on the grid.
-The exact PCG solver, multigrid, the neural-network approximators and the
-adaptive Smart-fluidnet controller all implement this protocol, so the
-simulator is agnostic to how the Poisson equation is (approximately) solved.
+A *pressure solver* is a :class:`~repro.fluid.solver_api.PressureSolver`:
+``solve(b, solid) -> SolveResult``, a ``name`` identifier and a ``reset()``
+lifecycle hook.  The exact PCG solver, Jacobi, multigrid, the
+neural-network approximators and the adaptive Smart-fluidnet controller all
+conform, so the simulator is agnostic to how the Poisson equation is
+(approximately) solved.  The ABC itself lives in
+:mod:`repro.fluid.solver_api` (to avoid import cycles with the concrete
+solvers) and is re-exported here, its historical home.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Protocol
 
 import numpy as np
+
+from repro.metrics import MetricsRegistry, get_metrics
 
 from .grid import MACGrid2D
 from .laplacian import poisson_rhs
 from .operators import divergence, pressure_gradient_update
-from .pcg import SolveResult
+from .solver_api import PressureSolver, SolveResult
 
-__all__ = ["PressureSolver", "ProjectionInfo", "project"]
-
-
-class PressureSolver(Protocol):
-    """Protocol implemented by every pressure solver in the package."""
-
-    name: str
-
-    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:  # pragma: no cover
-        """Solve ``A p = b`` over fluid cells of the given solid mask."""
-        ...
+__all__ = ["PressureSolver", "SolveResult", "ProjectionInfo", "project"]
 
 
 @dataclass
@@ -46,8 +40,15 @@ class ProjectionInfo:
     flops: float
 
 
-def project(grid: MACGrid2D, solver: PressureSolver, dt: float, rho: float = 1.0) -> ProjectionInfo:
+def project(
+    grid: MACGrid2D,
+    solver: PressureSolver,
+    dt: float,
+    rho: float = 1.0,
+    metrics: MetricsRegistry | None = None,
+) -> ProjectionInfo:
     """Make the grid velocity (approximately) divergence-free, in place."""
+    m = metrics if metrics is not None else get_metrics()
     grid.enforce_solid_boundaries()
     div = divergence(grid)
     pre = float(np.abs(div[grid.fluid]).max()) if grid.fluid.any() else 0.0
@@ -55,12 +56,16 @@ def project(grid: MACGrid2D, solver: PressureSolver, dt: float, rho: float = 1.0
     t0 = time.perf_counter()
     res = solver.solve(b, grid.solid)
     dt_solve = time.perf_counter() - t0
+    name = getattr(solver, "name", type(solver).__name__)
+    m.observe("projection/solve", dt_solve)
+    m.inc("projection/solves")
+    m.inc(f"projection/by_solver/{name}", 1.0)
     grid.pressure = res.pressure
     pressure_gradient_update(grid, res.pressure, dt, rho)
     post_div = divergence(grid)
     post = float(np.abs(post_div[grid.fluid]).max()) if grid.fluid.any() else 0.0
     return ProjectionInfo(
-        solver_name=getattr(solver, "name", type(solver).__name__),
+        solver_name=name,
         solve_seconds=dt_solve,
         iterations=res.iterations,
         converged=res.converged,

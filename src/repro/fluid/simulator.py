@@ -23,6 +23,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.metrics import MetricsRegistry, get_metrics
+
 from .advection import advect_scalar, advect_velocity, maccormack_scalar
 from .forces import add_buoyancy, add_vorticity_confinement
 from .grid import MACGrid2D
@@ -117,12 +119,14 @@ class FluidSimulator:
         source: SmokeSource | None = None,
         config: SimulationConfig | None = None,
         controller: Callable[["FluidSimulator", StepRecord], None] | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.grid = grid
         self.solver = solver
         self.source = source
         self.config = config or SimulationConfig()
         self.controller = controller
+        self.metrics = metrics
         self.weights = divnorm_weights(grid.solid, self.config.divnorm_k)
         self.records: list[StepRecord] = []
         self._step = 0
@@ -131,27 +135,34 @@ class FluidSimulator:
         """Advance the simulation by one time step."""
         cfg = self.config
         g = self.grid
+        m = self.metrics if self.metrics is not None else get_metrics()
         t0 = time.perf_counter()
-        if self.source is not None:
-            self.source.apply(g, cfg.dt)
-        if cfg.maccormack:
-            g.density = maccormack_scalar(g, g.density, cfg.dt)
-        else:
-            g.density = advect_scalar(g, g.density, cfg.dt)
-        new_u, new_v = advect_velocity(g, cfg.dt)
-        g.u, g.v = new_u, new_v
-        g.enforce_solid_boundaries()
-        add_buoyancy(g, cfg.dt, cfg.buoyancy)
-        if cfg.vorticity_eps > 0:
-            add_vorticity_confinement(g, cfg.dt, cfg.vorticity_eps)
-        info = project(g, self.solver, cfg.dt, cfg.rho)
-        divnorm = compute_divnorm(g, self.weights)
-        rec = StepRecord(
-            step=self._step,
-            divnorm=divnorm,
-            projection=info,
-            step_seconds=time.perf_counter() - t0,
-        )
+        with m.scope("sim"):
+            if self.source is not None:
+                self.source.apply(g, cfg.dt)
+            with m.timer("advection"):
+                if cfg.maccormack:
+                    g.density = maccormack_scalar(g, g.density, cfg.dt)
+                else:
+                    g.density = advect_scalar(g, g.density, cfg.dt)
+                new_u, new_v = advect_velocity(g, cfg.dt)
+                g.u, g.v = new_u, new_v
+            g.enforce_solid_boundaries()
+            with m.timer("forces"):
+                add_buoyancy(g, cfg.dt, cfg.buoyancy)
+                if cfg.vorticity_eps > 0:
+                    add_vorticity_confinement(g, cfg.dt, cfg.vorticity_eps)
+            info = project(g, self.solver, cfg.dt, cfg.rho, metrics=m)
+            divnorm = compute_divnorm(g, self.weights)
+            rec = StepRecord(
+                step=self._step,
+                divnorm=divnorm,
+                projection=info,
+                step_seconds=time.perf_counter() - t0,
+            )
+            m.inc("steps")
+            m.inc("solver_iterations", info.iterations)
+            m.observe("step", rec.step_seconds)
         self.records.append(rec)
         self._step += 1
         if self.controller is not None:

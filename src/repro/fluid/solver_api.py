@@ -1,0 +1,112 @@
+"""The pressure-solver API: result type, abstract base class, geometry cache.
+
+Historically the package used an implicit duck-typed solver interface ("any
+object with ``solve`` and ``name``").  This module makes it explicit:
+
+* :class:`SolveResult` — the uniform outcome record of every solve (moved
+  here from :mod:`repro.fluid.pcg`, which still re-exports it);
+* :class:`PressureSolver` — the abstract base class every solver subclasses:
+  ``solve(b, solid) -> SolveResult``, a ``name`` identifier, and a
+  ``reset()`` lifecycle hook that drops any per-geometry caches or
+  workspace buffers;
+* :class:`MaskKeyedCache` — a single-entry cache keyed on the solid mask,
+  used by the concrete solvers for expensive per-geometry artefacts
+  (MIC(0) factorisation + wavefront schedule, multigrid hierarchy,
+  Jacobi diagonal) with hit/miss counters reported to :mod:`repro.metrics`.
+
+``isinstance(obj, PressureSolver)`` also accepts structural conformance
+(``solve``/``name``/``reset`` present) so lightweight wrappers — recording
+and harvesting solvers, test doubles — keep working without subclassing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.metrics import MetricsRegistry, get_metrics
+
+__all__ = ["SolveResult", "PressureSolver", "MaskKeyedCache"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a pressure solve."""
+
+    pressure: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+    flops: float = 0.0
+    residual_history: list[float] = field(default_factory=list)
+
+
+class MaskKeyedCache:
+    """Single-entry cache for per-geometry artefacts, keyed on a solid mask.
+
+    Pressure solves within one simulation share a geometry step after step,
+    so a one-deep cache captures virtually all reuse while staying O(1) in
+    memory.  Hits and misses are counted as ``cache/<name>/hit|miss`` in the
+    supplied metrics registry.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._key: tuple | None = None
+        self._value: Any = None
+
+    @staticmethod
+    def key_of(solid: np.ndarray) -> tuple:
+        """Cache key of a solid mask (shape + raw bytes)."""
+        return (solid.shape, solid.tobytes())
+
+    def get(
+        self,
+        solid: np.ndarray,
+        build: Callable[[], Any],
+        metrics: MetricsRegistry | None = None,
+    ) -> Any:
+        """Return the cached artefact for ``solid``, building it on miss."""
+        m = metrics if metrics is not None else get_metrics()
+        key = self.key_of(solid)
+        if self._key != key:
+            m.inc(f"cache/{self.name}/miss")
+            self._value = build()
+            self._key = key
+        else:
+            m.inc(f"cache/{self.name}/hit")
+        return self._value
+
+    def clear(self) -> None:
+        """Drop the cached entry."""
+        self._key = None
+        self._value = None
+
+
+class PressureSolver(abc.ABC):
+    """Abstract base class of every pressure solver in the package.
+
+    Subclasses must provide :meth:`solve` and set :attr:`name`; solvers
+    holding per-geometry caches or workspace buffers additionally override
+    :meth:`reset` (the base implementation is a no-op).
+    """
+
+    #: short identifier used in diagnostics, metrics and reports
+    name: str = ""
+
+    @abc.abstractmethod
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
+        """Solve ``A p = b`` over fluid cells of the given solid mask."""
+
+    def reset(self) -> None:
+        """Drop cached per-geometry state and workspace buffers."""
+
+    @classmethod
+    def __subclasshook__(cls, subclass):
+        if cls is PressureSolver:
+            if all(hasattr(subclass, attr) for attr in ("solve", "name", "reset")):
+                return True
+        return NotImplemented

@@ -1,0 +1,210 @@
+"""Runtime performance metrics: counters, timers, scopes, JSON export.
+
+This module is the observability backbone of the package: the simulator, the
+pressure solvers, the training loop and the adaptive controller all report
+into a :class:`MetricsRegistry`, so any run can emit a structured profile
+(``repro simulate --json``, ``repro bench``).
+
+Distinct from :mod:`repro.core.metrics`, which holds the paper's *simulation
+quality* metrics (quality loss, CumDivNorm, correlations); this module is
+about wall-clock and event accounting of the runtime itself.
+
+Concepts
+--------
+counters
+    Monotonic floats keyed by name (``inc``).
+timers
+    Aggregated wall-clock statistics per name (count/total/min/max), driven
+    by the :meth:`MetricsRegistry.timer` context manager.
+scopes
+    Hierarchical name prefixes: inside ``with m.scope("sim")`` every metric
+    name is recorded as ``sim/<name>``, so nested components compose into a
+    readable tree (``sim/projection/pcg/solve``).
+export
+    ``to_dict``/``to_json`` produce a plain-JSON snapshot; ``from_dict``
+    restores it, so profiles round-trip through files losslessly.
+
+Instrumented components accept an optional ``metrics`` argument and default
+to the process-wide registry (:func:`get_metrics`), so existing call sites
+stay unchanged while still contributing to the global profile.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "TimerStat",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+]
+
+
+@dataclass
+class TimerStat:
+    """Aggregated wall-clock statistics of one named timer."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (``min`` is null when empty)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TimerStat":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            count=int(d["count"]),
+            total=float(d["total"]),
+            min=math.inf if d.get("min") is None else float(d["min"]),
+            max=float(d.get("max", 0.0)),
+        )
+
+
+class MetricsRegistry:
+    """Counters + timers with hierarchical scope prefixes and JSON export.
+
+    A disabled registry (``enabled=False``) turns every operation into a
+    cheap no-op, so instrumentation can stay unconditionally in hot paths.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, TimerStat] = {}
+        self._prefix: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _qualify(self, name: str) -> str:
+        return "/".join(self._prefix + [name]) if self._prefix else name
+
+    @contextmanager
+    def scope(self, name: str):
+        """Prefix every metric recorded inside the block with ``name/``."""
+        if not self.enabled:
+            yield self
+            return
+        self._prefix.append(name)
+        try:
+            yield self
+        finally:
+            self._prefix.pop()
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        key = self._qualify(name)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time the block's wall-clock and fold it into timer ``name``."""
+        if not self.enabled:
+            yield
+            return
+        key = self._qualify(name)  # resolve before the block may change scope
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(key, time.perf_counter() - t0, _qualified=True)
+
+    def observe(self, name: str, seconds: float, _qualified: bool = False) -> None:
+        """Record one already-measured duration into timer ``name``."""
+        if not self.enabled:
+            return
+        key = name if _qualified else self._qualify(name)
+        stat = self.timers.get(key)
+        if stat is None:
+            stat = self.timers[key] = TimerStat()
+        stat.add(seconds)
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Drop all recorded counters and timers (keeps enabled state)."""
+        self.counters.clear()
+        self.timers.clear()
+
+    def to_dict(self) -> dict:
+        """Snapshot as a plain-JSON-serialisable dict."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {k: v.to_dict() for k, v in sorted(self.timers.items())},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_dict` snapshot."""
+        reg = cls()
+        reg.counters.update({k: float(v) for k, v in d.get("counters", {}).items()})
+        reg.timers.update({k: TimerStat.from_dict(v) for k, v in d.get("timers", {}).items()})
+        return reg
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"MetricsRegistry(enabled={self.enabled}, "
+            f"{len(self.counters)} counters, {len(self.timers)} timers)"
+        )
+
+
+#: Shared disabled registry: safe default for code that wants zero overhead.
+NULL_METRICS = MetricsRegistry(enabled=False)
+
+_default = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default registry instrumented code reports into."""
+    return _default
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default registry; returns the previous one."""
+    global _default
+    previous = _default
+    _default = registry
+    return previous
+
+
+def reset_metrics() -> None:
+    """Clear the process-wide default registry."""
+    _default.reset()

@@ -16,6 +16,11 @@ inference; our CPU-scale CNNs use a small number of passes (default 2) to
 land in the same quality band — a documented substitution (see DESIGN.md).
 The returned pressure is zeroed on solids and mean-centred over fluid,
 matching the exact solver's convention.
+
+Hot-path caching: the stacked network input ``(1, 2, H, W)`` is a reused
+workspace buffer, and the float view of the geometry channel is cached per
+solid mask, so steady-state inference performs no per-call input
+allocations.  ``reset()`` drops both.
 """
 
 from __future__ import annotations
@@ -23,24 +28,53 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fluid.operators import apply_laplacian
-from repro.fluid.pcg import SolveResult
+from repro.fluid.solver_api import MaskKeyedCache, PressureSolver, SolveResult
+from repro.metrics import MetricsRegistry, get_metrics
 from repro.nn import Layer, Network, analyze_network
 
 __all__ = ["NNProjectionSolver"]
 
 
-class NNProjectionSolver:
+class NNProjectionSolver(PressureSolver):
     """Pressure-solver protocol implementation backed by a neural network."""
 
-    def __init__(self, model: Layer, name: str = "nn", passes: int = 2):
+    def __init__(
+        self,
+        model: Layer,
+        name: str = "nn",
+        passes: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ):
         if passes < 1:
             raise ValueError("passes must be >= 1")
         self.model = model
         self.name = name
         self.passes = passes
+        self._metrics = metrics
+        self._geo_cache = MaskKeyedCache("nn_geometry")
+        self._x: np.ndarray | None = None  # reused (1, 2, H, W) input workspace
+
+    def reset(self) -> None:
+        """Drop the cached geometry channel and all workspace buffers."""
+        self._geo_cache.clear()
+        self._x = None
+        stack = [self.model]
+        while stack:
+            layer = stack.pop()
+            if hasattr(layer, "reset_workspace"):
+                layer.reset_workspace()
+            stack.extend(getattr(layer, "layers", []))
 
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Approximate the Poisson solution with ``passes`` network inferences."""
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        with metrics.timer(f"solver/{self.name}/solve"):
+            result = self._solve(b, solid, metrics)
+        metrics.inc(f"solver/{self.name}/solves")
+        metrics.inc(f"solver/{self.name}/inferences", result.iterations)
+        return result
+
+    def _solve(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
         fluid = ~solid
         nf = int(fluid.sum())
         if nf == 0:
@@ -48,7 +82,11 @@ class NNProjectionSolver:
         from repro.fluid.laplacian import remove_nullspace
 
         b = remove_nullspace(b, solid)
-        geo = solid.astype(np.float64)
+        geo = self._geo_cache.get(solid, lambda: solid.astype(np.float64), metrics)
+
+        if self._x is None or self._x.shape[2:] != b.shape:
+            self._x = np.empty((1, 2) + b.shape, dtype=np.float64)
+        self._x[0, 1] = geo
 
         p = np.zeros_like(b)
         r = b
@@ -57,8 +95,8 @@ class NNProjectionSolver:
             sigma = float(r[fluid].std())
             if sigma < 1e-300:
                 break
-            x = np.stack([r / sigma, geo])[None]
-            dp = self.model.forward(x, training=False)[0, 0] * sigma
+            np.divide(r, sigma, out=self._x[0, 0])
+            dp = self.model.forward(self._x, training=False)[0, 0] * sigma
             p = p + np.where(fluid, dp, 0.0)
             r = remove_nullspace(b - apply_laplacian(p, solid), solid)
             done += 1

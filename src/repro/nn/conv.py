@@ -33,9 +33,17 @@ class Conv2d(Layer):
         self.bias = Parameter(np.zeros(out_channels), "conv.bias")
         self._cols: np.ndarray | None = None
         self._in_shape: tuple[int, ...] | None = None
+        self._ws_pad: np.ndarray | None = None  # inference-only padded-input workspace
+        self._ws_cols: np.ndarray | None = None  # inference-only im2col workspace
+        self.workspace_reuses = 0
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
+
+    def reset_workspace(self) -> None:
+        """Release the reusable inference buffers."""
+        self._ws_pad = None
+        self._ws_cols = None
 
     def _im2col(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
@@ -45,14 +53,44 @@ class Conv2d(Layer):
         win = sliding_window_view(xp, (k, k), axis=(2, 3))  # (N, C, H, W, k, k)
         return win.transpose(0, 2, 3, 1, 4, 5).reshape(n, h * w, c * k * k)
 
+    def _im2col_inference(self, x: np.ndarray) -> np.ndarray:
+        """im2col into reusable workspace buffers (no per-call allocation).
+
+        Only safe outside training: the returned array is overwritten by the
+        next call, while the training path must keep its columns alive for
+        ``backward``.
+        """
+        n, c, h, w = x.shape
+        k = self.kernel
+        pad = k // 2
+        pshape = (n, c, h + 2 * pad, w + 2 * pad)
+        if (
+            self._ws_pad is None
+            or self._ws_pad.shape != pshape
+            or self._ws_pad.dtype != x.dtype
+        ):
+            # border stays zero for the buffer's lifetime ("same" padding)
+            self._ws_pad = np.zeros(pshape, dtype=x.dtype)
+            self._ws_cols = np.empty((n, h * w, c * k * k), dtype=x.dtype)
+        else:
+            self.workspace_reuses += 1
+        self._ws_pad[:, :, pad : pad + h, pad : pad + w] = x
+        win = sliding_window_view(self._ws_pad, (k, k), axis=(2, 3))
+        np.copyto(self._ws_cols.reshape(n, h, w, c, k, k), win.transpose(0, 2, 3, 1, 4, 5))
+        return self._ws_cols
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (N,{self.in_channels},H,W) input, got {x.shape}"
             )
         n, _, h, w = x.shape
-        cols = self._im2col(x)
-        self._cols = cols if training else None
+        if training:
+            cols = self._im2col(x)
+            self._cols = cols
+        else:
+            cols = self._im2col_inference(x)
+            self._cols = None
         self._in_shape = x.shape
         wmat = self.weight.value.reshape(self.out_channels, -1)
         out = cols @ wmat.T + self.bias.value

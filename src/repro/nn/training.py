@@ -1,10 +1,13 @@
-"""Minibatch training loop."""
+"""Minibatch training loop with per-epoch wall-clock telemetry."""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.metrics import MetricsRegistry, get_metrics
 
 from .losses import Loss
 from .network import Network
@@ -20,6 +23,7 @@ class TrainHistory:
     train_loss: list[float] = field(default_factory=list)
     val_loss: list[float] = field(default_factory=list)
     step_loss: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
@@ -36,11 +40,19 @@ class Trainer:
     ``"weights"`` for the DivNorm objective).
     """
 
-    def __init__(self, network: Network, loss: Loss, optimizer: Optimizer, rng=None):
+    def __init__(
+        self,
+        network: Network,
+        loss: Loss,
+        optimizer: Optimizer,
+        rng=None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.network = network
         self.loss = loss
         self.optimizer = optimizer
         self.rng = np.random.default_rng(rng)
+        self._metrics = metrics
 
     def _batches(self, data: dict[str, np.ndarray], batch_size: int, shuffle: bool):
         n = len(data["x"])
@@ -77,8 +89,10 @@ class Trainer:
         """
         if "x" not in data:
             raise ValueError('dataset must contain an "x" entry')
+        metrics = self._metrics if self._metrics is not None else get_metrics()
         history = TrainHistory()
         for epoch in range(epochs):
+            t0 = time.perf_counter()
             epoch_total, epoch_count = 0.0, 0
             for batch in self._batches(data, batch_size, shuffle):
                 pred = self.network.forward(batch["x"], training=True)
@@ -90,7 +104,12 @@ class Trainer:
                 epoch_total += value * bs
                 epoch_count += bs
                 history.step_loss.append(value)
+                metrics.inc("train/batches")
             history.train_loss.append(epoch_total / max(epoch_count, 1))
+            history.epoch_seconds.append(time.perf_counter() - t0)
+            metrics.observe("train/epoch", history.epoch_seconds[-1])
+            metrics.inc("train/epochs")
+            metrics.inc("train/samples", epoch_count)
             if scheduler is not None:
                 scheduler.step()
             if validation is not None:

@@ -108,9 +108,12 @@ class TestMultigridSolver:
         solver = MultigridSolver()
         g = MACGrid2D(34, 34)
         solver.solve(compatible_rhs(g.solid, 4), g.solid)
-        levels = solver._levels
+        levels = solver._hierarchy_cache._value
+        assert levels is not None
         solver.solve(compatible_rhs(g.solid, 5), g.solid)
-        assert solver._levels is levels
+        assert solver._hierarchy_cache._value is levels
+        solver.reset()
+        assert solver._hierarchy_cache._value is None
 
     def test_faster_convergence_than_jacobi_preconditioned_pcg_in_cycles(self):
         # MG should need far fewer cycles than unpreconditioned CG iterations

@@ -138,12 +138,13 @@ class TestPCGSolver:
         solver = PCGSolver()
         s1 = plume_solid(16, 15)
         solver.solve(compatible_rhs(s1, 16), s1)
-        first = solver._mic
+        first = solver._mic_cache._value
+        assert first is not None
         solver.solve(compatible_rhs(s1, 17), s1)
-        assert solver._mic is first  # same mask -> cached
+        assert solver._mic_cache._value is first  # same mask -> cached
         s2 = plume_solid(16, 18)
         solver.solve(compatible_rhs(s2, 19), s2)
-        assert solver._mic is not first  # new mask -> rebuilt
+        assert solver._mic_cache._value is not first  # new mask -> rebuilt
 
     def test_linearity_of_solution(self):
         solid = plume_solid(16, 20)

@@ -53,6 +53,31 @@ class TestConv2d:
         ys = conv.forward(shifted)
         np.testing.assert_allclose(ys[:, :, :, 4:10], np.roll(y, 2, axis=3)[:, :, :, 4:10], atol=1e-12)
 
+    def test_inference_workspace_reused_and_correct(self):
+        conv = Conv2d(2, 3, kernel=3, rng=0)
+        x1 = RNG.standard_normal((1, 2, 8, 8))
+        x2 = RNG.standard_normal((1, 2, 8, 8))
+        y_train = conv.forward(x1, training=True)  # allocating reference path
+        y1 = conv.forward(x1, training=False)
+        np.testing.assert_allclose(y1, y_train, atol=1e-14)
+        buf = conv._ws_cols
+        assert conv.workspace_reuses == 0
+        y2 = conv.forward(x2, training=False)
+        assert conv._ws_cols is buf  # same shape -> same buffer
+        assert conv.workspace_reuses == 1
+        np.testing.assert_allclose(y2, conv.forward(x2, training=True), atol=1e-14)
+        # outputs must not alias the workspace: y1 unchanged by the 2nd call
+        np.testing.assert_allclose(y1, y_train, atol=1e-14)
+
+    def test_inference_workspace_shape_change_and_reset(self):
+        conv = Conv2d(1, 2, kernel=3, rng=0)
+        conv.forward(RNG.standard_normal((1, 1, 8, 8)), training=False)
+        buf = conv._ws_cols
+        conv.forward(RNG.standard_normal((2, 1, 6, 6)), training=False)
+        assert conv._ws_cols is not buf  # new shape -> reallocated
+        conv.reset_workspace()
+        assert conv._ws_cols is None and conv._ws_pad is None
+
     def test_bias_applied(self):
         conv = Conv2d(1, 2, rng=0)
         conv.weight.value[:] = 0.0

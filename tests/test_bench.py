@@ -1,0 +1,77 @@
+"""Smoke tests of the `repro bench` performance suite (marker: bench)."""
+
+import json
+
+import pytest
+
+from repro.benchmark import SCALES, run_bench, write_bench
+from repro.cli import main
+
+pytestmark = pytest.mark.bench
+
+EXPECTED_BENCHMARKS = {
+    "pcg_geometry_cache",
+    "pcg_warm_start",
+    "simulation_step",
+    "nn_inference",
+}
+
+
+@pytest.fixture(scope="module")
+def ci_report():
+    return run_bench(scale="ci")
+
+
+class TestRunBench:
+    def test_report_schema(self, ci_report):
+        assert ci_report["schema"] == "repro-bench/v1"
+        assert ci_report["scale"] == "ci"
+        assert {b["name"] for b in ci_report["benchmarks"]} == EXPECTED_BENCHMARKS
+
+    def test_report_is_json_serialisable(self, ci_report):
+        restored = json.loads(json.dumps(ci_report))
+        assert restored["schema"] == ci_report["schema"]
+
+    def test_geometry_cache_benchmark(self, ci_report):
+        cache = next(
+            b for b in ci_report["benchmarks"] if b["name"] == "pcg_geometry_cache"
+        )
+        assert cache["converged"]
+        assert cache["cache_misses"] >= 1
+        assert cache["cache_hits"] >= SCALES["ci"].solve_reps
+        assert cache["cold_seconds"] > 0 and cache["cached_seconds"] > 0
+        # the cached path does strictly less work; allow for timing noise in
+        # CI, the tracked BENCH_*.json is generated at the default scale
+        assert cache["speedup"] > 0.8
+
+    def test_warm_start_benchmark(self, ci_report):
+        warm = next(b for b in ci_report["benchmarks"] if b["name"] == "pcg_warm_start")
+        assert 0 < warm["warm_iterations"] <= warm["cold_iterations"]
+        assert warm["iteration_ratio"] >= 1.0
+
+    def test_simulation_benchmark_carries_metrics(self, ci_report):
+        sim = next(b for b in ci_report["benchmarks"] if b["name"] == "simulation_step")
+        steps = SCALES["ci"].sim_steps
+        assert sim["metrics"]["counters"]["sim/steps"] == steps
+        assert sim["metrics"]["timers"]["sim/step"]["count"] == steps
+
+    def test_nn_inference_reuses_workspace(self, ci_report):
+        nn = next(b for b in ci_report["benchmarks"] if b["name"] == "nn_inference")
+        assert nn["workspace_reuses"] >= SCALES["ci"].infer_reps
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(scale="huge")
+
+    def test_write_bench(self, ci_report, tmp_path):
+        path = write_bench(ci_report, tmp_path / "BENCH_test.json")
+        assert json.loads(path.read_text())["scale"] == "ci"
+
+
+class TestBenchCLI:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_ci.json"
+        assert main(["bench", "--scale", "ci", "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert {b["name"] for b in report["benchmarks"]} == EXPECTED_BENCHMARKS
+        assert "speedup" in capsys.readouterr().out

@@ -33,7 +33,7 @@ def test_module_docstrings(package):
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_top_level_framework_importable():
@@ -42,6 +42,32 @@ def test_top_level_framework_importable():
     assert SmartFluidnet is not None
     assert UserRequirement(q=0.1, t=1.0).q == 0.1
     assert OfflineConfig().check_interval == 5
+
+
+def test_facade_exports_solvers_and_metrics():
+    import repro
+
+    assert issubclass(repro.PCGSolver, repro.PressureSolver)
+    assert issubclass(repro.JacobiSolver, repro.PressureSolver)
+    assert issubclass(repro.MultigridSolver, repro.PressureSolver)
+    assert issubclass(repro.NNProjectionSolver, repro.PressureSolver)
+    assert repro.metrics.MetricsRegistry is repro.MetricsRegistry
+    assert repro.get_metrics() is repro.metrics.get_metrics()
+
+
+def test_deprecation_shim_resolves_moved_names():
+    import repro
+    from repro.fluid import MIC0Preconditioner
+
+    with pytest.warns(DeprecationWarning, match="repro.fluid.MIC0Preconditioner"):
+        assert repro.MIC0Preconditioner is MIC0Preconditioner
+
+
+def test_unknown_root_attribute_raises():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.definitely_not_a_name
 
 
 def test_public_submodule_docstrings():

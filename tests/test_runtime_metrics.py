@@ -1,0 +1,160 @@
+"""Tests for the repro.metrics runtime-observability module."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    TimerStat,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+
+
+class TestCountersAndTimers:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.inc("a", 2.5)
+        m.inc("b", 0.5)
+        assert m.counter("a") == 3.5
+        assert m.counter("b") == 0.5
+        assert m.counter("missing") == 0.0
+
+    def test_timer_records_statistics(self):
+        m = MetricsRegistry()
+        for _ in range(3):
+            with m.timer("work"):
+                pass
+        stat = m.timers["work"]
+        assert stat.count == 3
+        assert stat.total >= stat.max >= stat.min >= 0.0
+        assert stat.mean == pytest.approx(stat.total / 3)
+
+    def test_observe_records_explicit_durations(self):
+        m = MetricsRegistry()
+        m.observe("solve", 0.25)
+        m.observe("solve", 0.75)
+        stat = m.timers["solve"]
+        assert stat.count == 2
+        assert stat.total == 1.0
+        assert stat.min == 0.25
+        assert stat.max == 0.75
+
+    def test_reset_clears_everything(self):
+        m = MetricsRegistry()
+        m.inc("a")
+        m.observe("t", 1.0)
+        m.reset()
+        assert m.counters == {}
+        assert m.timers == {}
+
+
+class TestScopes:
+    def test_scope_prefixes_names(self):
+        m = MetricsRegistry()
+        with m.scope("sim"):
+            m.inc("steps")
+            with m.scope("projection"):
+                m.observe("solve", 0.1)
+        m.inc("steps")
+        assert m.counter("sim/steps") == 1.0
+        assert m.counter("steps") == 1.0
+        assert "sim/projection/solve" in m.timers
+
+    def test_scope_restored_after_exception(self):
+        m = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with m.scope("outer"):
+                raise RuntimeError
+        m.inc("after")
+        assert m.counter("after") == 1.0
+
+
+class TestJSONRoundTrip:
+    def test_round_trip_preserves_snapshot(self):
+        m = MetricsRegistry()
+        m.inc("solver/pcg/solves", 4)
+        m.observe("solver/pcg/solve", 0.125)
+        m.observe("solver/pcg/solve", 0.5)
+        with m.scope("sim"):
+            m.inc("steps", 7)
+        snapshot = m.to_dict()
+        restored = MetricsRegistry.from_dict(json.loads(m.to_json()))
+        assert restored.to_dict() == snapshot
+
+    def test_empty_registry_round_trips(self):
+        m = MetricsRegistry()
+        assert MetricsRegistry.from_dict(json.loads(m.to_json())).to_dict() == m.to_dict()
+
+    def test_timer_stat_round_trip_empty_min(self):
+        stat = TimerStat()
+        assert TimerStat.from_dict(stat.to_dict()).to_dict() == stat.to_dict()
+
+
+class TestDisabledAndGlobal:
+    def test_null_metrics_is_noop(self):
+        before = (dict(NULL_METRICS.counters), dict(NULL_METRICS.timers))
+        NULL_METRICS.inc("x")
+        with NULL_METRICS.timer("t"):
+            pass
+        with NULL_METRICS.scope("s"):
+            NULL_METRICS.inc("y")
+        assert (NULL_METRICS.counters, NULL_METRICS.timers) == before == ({}, {})
+
+    def test_set_metrics_swaps_default(self):
+        mine = MetricsRegistry()
+        previous = set_metrics(mine)
+        try:
+            assert get_metrics() is mine
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous
+
+    def test_reset_metrics_clears_default(self):
+        mine = MetricsRegistry()
+        previous = set_metrics(mine)
+        try:
+            get_metrics().inc("z")
+            reset_metrics()
+            assert get_metrics().counter("z") == 0.0
+        finally:
+            set_metrics(previous)
+
+
+class TestInstrumentedComponents:
+    def test_simulator_emits_profile(self):
+        from repro.data import InputProblem
+        from repro.fluid import FluidSimulator, PCGSolver
+
+        metrics = MetricsRegistry()
+        grid, source = InputProblem(16, 0).materialize()
+        sim = FluidSimulator(
+            grid, PCGSolver(metrics=metrics), source, metrics=metrics
+        )
+        sim.run(2)
+        assert metrics.counter("sim/steps") == 2
+        assert metrics.counter("sim/projection/solves") == 2
+        assert metrics.timers["sim/step"].count == 2
+        # solver reporting lands under the sim scope (shared registry)
+        assert metrics.counter("sim/solver/pcg/solves") == 2
+        assert metrics.counter("sim/cache/mic0/miss") == 1
+        assert metrics.counter("sim/cache/mic0/hit") == 1
+
+    def test_trainer_records_epoch_seconds(self):
+        from repro.nn import Adam, MSELoss, Network, Dense, Trainer
+
+        rng = np.random.default_rng(0)
+        net = Network([Dense(4, 2, rng=0)])
+        data = {"x": rng.standard_normal((8, 4)), "y": rng.standard_normal((8, 2))}
+        metrics = MetricsRegistry()
+        trainer = Trainer(net, MSELoss(), Adam(net.parameters()), rng=0, metrics=metrics)
+        history = trainer.fit(data, epochs=3, batch_size=4)
+        assert len(history.epoch_seconds) == 3
+        assert all(s >= 0 for s in history.epoch_seconds)
+        assert metrics.counter("train/epochs") == 3
+        assert metrics.timers["train/epoch"].count == 3

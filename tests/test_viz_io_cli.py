@@ -148,6 +148,38 @@ class TestCLI:
     def test_simulate_multigrid_backend(self, capsys):
         assert main(["simulate", "--grid", "18", "--steps", "1", "--solver", "multigrid"]) == 0
 
+    def test_simulate_json_output(self, capsys):
+        code = main(["simulate", "--grid", "16", "--steps", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "simulate"
+        assert payload["config"]["solver"] == "pcg"
+        assert len(payload["steps"]) == 2
+        assert payload["steps"][0]["converged"]
+        assert payload["metrics"]["counters"]["sim/steps"] == 2
+        assert "sim/step" in payload["metrics"]["timers"]
+
+    def test_simulate_warm_start_and_jacobi_backend(self, capsys):
+        assert main(
+            ["simulate", "--grid", "16", "--steps", "2", "--warm-start", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["warm_start"] is True
+        assert main(["simulate", "--grid", "16", "--steps", "1", "--solver", "jacobi"]) == 0
+
+    def test_shared_parent_parser_arguments(self):
+        parser = build_parser()
+        for command, extra in (
+            (["simulate"], []),
+            (["adaptive", "fw"], []),
+            (["offline", "out"], None),
+        ):
+            args = parser.parse_args(command + ["--grid", "24", "--seed", "7"])
+            assert args.grid == 24 and args.seed == 7
+            if extra is not None:
+                args = parser.parse_args(command + ["--steps", "5"])
+                assert args.steps == 5
+
     def test_experiment_rejects_unknown(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
@@ -158,3 +190,17 @@ class TestCLI:
         code = main(["adaptive", str(tmp_path / "fw"), "--grid", "16", "--steps", "8"])
         assert code == 0
         assert "steps per model" in capsys.readouterr().out
+
+    def test_adaptive_json_output(self, small_model, tmp_path, capsys):
+        fw = TestFrameworkIO().make_framework(small_model)
+        save_framework(fw, tmp_path / "fw")
+        code = main(
+            ["adaptive", str(tmp_path / "fw"), "--grid", "16", "--steps", "8", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "adaptive"
+        assert payload["restarted"] is False
+        assert sum(payload["steps_per_model"].values()) == 8
+        assert len(payload["steps"]) == 8
+        assert payload["metrics"]["counters"]["sim/steps"] == 8
