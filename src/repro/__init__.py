@@ -18,7 +18,9 @@ supported entry points and keep working across refactors.
   :class:`OfflineConfig`;
 * observability — the :mod:`repro.metrics` runtime-metrics module
   (:class:`MetricsRegistry`, :func:`get_metrics`) and
-  :func:`repro.benchmark.run_bench`.
+  :func:`repro.benchmark.run_bench`;
+* the execution farm — :class:`JobSpec`, :class:`JobResult`,
+  :class:`SimulationFarm`, :class:`FarmReport`.
 
 Any other public name of :mod:`repro.fluid`, :mod:`repro.core` or
 :mod:`repro.nn` remains reachable from the root through a deprecation shim
@@ -44,6 +46,11 @@ Subpackages
     Auto-Keras-style accurate-model search, Pareto selection, the
     success-rate MLP, Eq. 8 filtering, the CumDivNorm/KNN quality
     predictors, and the quality-aware model-switch runtime (Algorithm 2).
+``repro.farm``
+    Concurrent simulation execution: job schema, fault-tolerant
+    multiprocessing worker pool with timeouts/retries, atomic ``.npz``
+    checkpoint/resume, and a batched NN-inference service that stacks
+    same-shape pressure solves into one forward pass.
 ``repro.metrics``
     Runtime counters/timers with hierarchical scopes and JSON export.
 ``repro.benchmark``
@@ -69,9 +76,10 @@ from .fluid import (
     SimulationResult,
     SolveResult,
 )
+from .farm import FarmReport, JobResult, JobSpec, SimulationFarm
 from .models import NNProjectionSolver
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # framework
@@ -89,6 +97,11 @@ __all__ = [
     "JacobiSolver",
     "MultigridSolver",
     "NNProjectionSolver",
+    # execution farm
+    "JobSpec",
+    "JobResult",
+    "SimulationFarm",
+    "FarmReport",
     # observability
     "metrics",
     "MetricsRegistry",
@@ -105,7 +118,7 @@ def __getattr__(name: str):
     """
     import importlib
 
-    for subpackage in ("fluid", "core", "nn"):
+    for subpackage in ("fluid", "core", "nn", "farm"):
         mod = importlib.import_module(f"repro.{subpackage}")
         if name in getattr(mod, "__all__", ()):
             warnings.warn(

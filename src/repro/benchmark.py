@@ -24,6 +24,10 @@ Benchmarks
 ``nn_inference``
     Repeated CNN inference on a fixed input: first call (buffers
     allocated) vs. steady state (im2col workspaces reused).
+``farm_throughput``
+    The same 8-job list executed serially in-process vs. on the
+    :mod:`repro.farm` process pool; reports jobs/sec and steps/sec for
+    both, which is the farm's headline scaling number.
 
 Scales
 ------
@@ -46,7 +50,7 @@ __all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
 
 SCHEMA = "repro-bench/v1"
 #: tag of the BENCH_<tag>.json this PR emits
-DEFAULT_TAG = "pr1"
+DEFAULT_TAG = "pr2"
 
 
 @dataclass(frozen=True)
@@ -195,6 +199,60 @@ def _bench_nn_inference(scale: BenchScale, seed: int = 0) -> dict:
     }
 
 
+def _bench_farm_throughput(scale: BenchScale, seed: int = 0, n_jobs: int = 8) -> dict:
+    """Serial vs. farm execution of one fixed job list.
+
+    Both runs execute the *same* specs (same scenarios, same step budgets),
+    so the ratio isolates the execution engine.  On a single-core host the
+    process pool mostly pays its orchestration overhead; with real cores the
+    farm's throughput scales with worker count.
+    """
+    import os
+
+    from repro.farm import JobSpec, SimulationFarm
+    from repro.metrics import MetricsRegistry
+
+    def jobs() -> list[JobSpec]:
+        return [
+            JobSpec(
+                job_id=f"bench-{i}",
+                grid_size=scale.grid,
+                seed=seed + i,
+                steps=scale.sim_steps,
+            )
+            for i in range(n_jobs)
+        ]
+
+    workers = min(n_jobs, os.cpu_count() or 1)
+    serial = SimulationFarm(backend="serial", metrics=MetricsRegistry()).run(jobs())
+    farm = SimulationFarm(
+        backend="process", workers=workers, metrics=MetricsRegistry()
+    ).run(jobs())
+    return {
+        "name": "farm_throughput",
+        "params": {
+            "grid": scale.grid,
+            "steps": scale.sim_steps,
+            "jobs": n_jobs,
+            "workers": workers,
+            "seed": seed,
+        },
+        "serial_seconds": serial.wall_seconds,
+        "farm_seconds": farm.wall_seconds,
+        "serial_jobs_per_second": serial.jobs_per_second,
+        "farm_jobs_per_second": farm.jobs_per_second,
+        "serial_steps_per_second": serial.steps_per_second,
+        "farm_steps_per_second": farm.steps_per_second,
+        "serial_completed": len(serial.completed),
+        "farm_completed": len(farm.completed),
+        "speedup": (
+            serial.wall_seconds / farm.wall_seconds
+            if farm.wall_seconds > 0
+            else float("inf")
+        ),
+    }
+
+
 def run_bench(scale: str = "default", seed: int = 0) -> dict:
     """Run the whole suite at one scale and return the report dict."""
     if scale not in SCALES:
@@ -205,6 +263,7 @@ def run_bench(scale: str = "default", seed: int = 0) -> dict:
         _bench_pcg_warm_start(s, seed),
         _bench_simulation_step(s, seed),
         _bench_nn_inference(s, seed),
+        _bench_farm_throughput(s, seed),
     ]
     return {
         "schema": SCHEMA,

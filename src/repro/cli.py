@@ -8,6 +8,7 @@ Commands
 ``report``       run every experiment and write one combined report
 ``adaptive``     run the adaptive online phase from a saved framework
 ``bench``        run the performance suite and write ``BENCH_<tag>.json``
+``farm``         run a fleet of simulation jobs on the concurrent farm
 
 ``simulate`` and ``adaptive`` accept ``--json`` for structured output: the
 per-step records plus the run's full metrics profile, suitable for piping
@@ -105,6 +106,44 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument(
         "--output", type=str, default=None,
         help="output JSON path (default: BENCH_<tag>.json in the current directory)",
+    )
+
+    frm = sub.add_parser(
+        "farm",
+        parents=[problem, stepping],
+        help="run a fleet of simulation jobs on the concurrent farm",
+    )
+    frm.add_argument("--jobs", type=int, default=8, help="number of jobs in the fleet")
+    frm.add_argument(
+        "--solver", choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "nn"],
+        default="pcg", help="pressure solver every job requests",
+    )
+    frm.add_argument(
+        "--backend", choices=["process", "batched", "serial"], default="process",
+        help="process pool (fault-tolerant), in-process batched NN threads, or serial baseline",
+    )
+    frm.add_argument("--workers", type=int, default=None, help="concurrent job slots")
+    frm.add_argument(
+        "--checkpoint-every", type=int, default=4,
+        help="checkpoint each job every N steps (0 disables)",
+    )
+    frm.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="checkpoint directory (default: temporary, per run)",
+    )
+    frm.add_argument("--timeout", type=float, default=None, help="per-attempt seconds budget")
+    frm.add_argument("--retries", type=int, default=1, help="max retries per job after hard faults")
+    frm.add_argument(
+        "--inject-failure", type=int, default=None, metavar="JOB_INDEX",
+        help="fault-inject one worker failure into job JOB_INDEX mid-run",
+    )
+    frm.add_argument(
+        "--fail-mode", choices=["raise", "crash"], default="crash",
+        help="flavour of the injected failure (crash = hard worker death)",
+    )
+    frm.add_argument(
+        "--json", action="store_true",
+        help="emit the full farm report (per-job results + merged metrics) as JSON",
     )
     return parser
 
@@ -278,6 +317,60 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_farm(args) -> int:
+    from repro.data import generate_problems
+    from repro.farm import JobSpec, SimulationFarm
+
+    problems = generate_problems(args.jobs, args.grid)
+    fail_step = max(1, args.steps // 2)
+    specs = [
+        JobSpec(
+            job_id=f"job-{i:03d}",
+            grid_size=args.grid,
+            seed=p.seed + args.seed,
+            steps=args.steps,
+            solver=args.solver,
+            checkpoint_every=args.checkpoint_every,
+            timeout_seconds=args.timeout,
+            max_retries=args.retries,
+            fail_at_step=fail_step if i == args.inject_failure else None,
+            fail_mode=args.fail_mode,
+        )
+        for i, p in enumerate(problems)
+    ]
+    farm = SimulationFarm(
+        workers=args.workers,
+        backend=args.backend,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    report = farm.run(specs)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if not report.failed else 1
+    print(
+        f"{args.backend} farm, {report.workers} worker(s): "
+        f"{len(report.completed)}/{len(report.results)} jobs completed "
+        f"in {report.wall_seconds:.2f}s "
+        f"({report.jobs_per_second:.2f} jobs/s, {report.steps_per_second:.1f} steps/s)"
+    )
+    for r in report.results:
+        notes = []
+        if r.degraded:
+            notes.append("degraded->pcg")
+        if r.resumed_from is not None:
+            notes.append(f"resumed@{r.resumed_from}")
+        if r.retries:
+            notes.append(f"retries={r.retries}")
+        if r.error:
+            notes.append(r.error)
+        suffix = f" [{', '.join(notes)}]" if notes else ""
+        print(
+            f"  {r.job_id}: {r.status} ({r.steps_done}/{args.steps} steps, "
+            f"{r.solver_used}){suffix}"
+        )
+    return 0 if not report.failed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -288,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "adaptive": _cmd_adaptive,
         "bench": _cmd_bench,
+        "farm": _cmd_farm,
     }[args.command](args)
 
 

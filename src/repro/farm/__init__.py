@@ -1,0 +1,34 @@
+"""``repro.farm`` — the concurrent simulation execution engine.
+
+The execution layer above :class:`~repro.fluid.FluidSimulator`: declarative
+job specs, a fault-tolerant worker pool with per-job timeout and bounded
+retry, mid-run checkpoint/resume, graceful degradation to the exact PCG
+solver, and a batched NN inference service that stacks pressure
+projections from concurrent same-shape jobs into single CNN forward
+passes.  Entry points: build a list of :class:`JobSpec`, hand it to
+:class:`SimulationFarm.run`, read the :class:`FarmReport` — or use the
+``repro farm`` CLI subcommand.
+"""
+
+from .batching import BatchedInferenceService, BatchingSolverProxy
+from .checkpoint import load_checkpoint, save_checkpoint
+from .jobs import JobResult, JobSpec, SOLVER_CHOICES
+from .pool import BACKENDS, FarmReport, SimulationFarm
+from .worker import InjectedWorkerFailure, SimulationDiverged, build_solver, run_job
+
+__all__ = [
+    "JobSpec",
+    "JobResult",
+    "SOLVER_CHOICES",
+    "SimulationFarm",
+    "FarmReport",
+    "BACKENDS",
+    "run_job",
+    "build_solver",
+    "InjectedWorkerFailure",
+    "SimulationDiverged",
+    "BatchedInferenceService",
+    "BatchingSolverProxy",
+    "save_checkpoint",
+    "load_checkpoint",
+]

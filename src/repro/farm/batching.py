@@ -1,0 +1,165 @@
+"""Batched NN inference across concurrent simulations.
+
+The paper's surrogate (like Tompson et al.'s CNN) earns its speedup from
+amortising one forward pass over many grids.  A single simulation only ever
+has one pressure solve in flight, so batching needs concurrency *above* the
+simulator: this service sits between N same-shape simulation jobs (one
+thread each) and one shared :class:`~repro.models.NNProjectionSolver`.
+
+Each job's :class:`BatchingSolverProxy` submits its ``(b, solid)`` request
+and blocks.  When every registered participant has a request pending — or a
+``max_wait`` grace period expires, so a participant busy in advection (or
+degraded to PCG) cannot stall the others — one submitting thread elects
+itself *leader*, stacks the requests into a ``(N, 2, H, W)`` tensor via
+:meth:`~repro.models.NNProjectionSolver.solve_many`, and distributes the
+per-sample results.  NumPy releases the GIL inside the heavy kernels, so
+leader inference overlaps with follower advection in plain threads.
+
+Requests are grouped by grid shape; mixed-shape participants batch within
+their shape group only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.fluid.solver_api import PressureSolver, SolveResult
+from repro.metrics import MetricsRegistry, get_metrics
+from repro.models import NNProjectionSolver
+
+__all__ = ["BatchedInferenceService", "BatchingSolverProxy"]
+
+
+class _Request:
+    __slots__ = ("b", "solid", "result", "error")
+
+    def __init__(self, b: np.ndarray, solid: np.ndarray):
+        self.b = b
+        self.solid = solid
+        self.result: SolveResult | None = None
+        self.error: BaseException | None = None
+
+
+class BatchedInferenceService:
+    """Gather same-shape pressure solves into stacked CNN forward passes.
+
+    Parameters
+    ----------
+    solver:
+        The shared batch-capable NN solver; only one leader thread calls it
+        at a time.
+    max_wait:
+        Grace period (seconds) a pending request waits for the rest of the
+        registered participants before dispatching a partial batch.
+    metrics:
+        Registry receiving ``farm/batch/*`` counters; defaults to the
+        process-wide registry.
+    """
+
+    def __init__(
+        self,
+        solver: NNProjectionSolver,
+        max_wait: float = 0.05,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.solver = solver
+        self.max_wait = max_wait
+        self._metrics = metrics
+        self._cond = threading.Condition()
+        self._pending: list[_Request] = []
+        self._participants = 0
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def register(self) -> None:
+        """Announce one more concurrent participant (a running job)."""
+        with self._cond:
+            self._participants += 1
+
+    def unregister(self) -> None:
+        """Remove a participant (job finished or degraded away from NN)."""
+        with self._cond:
+            self._participants = max(0, self._participants - 1)
+            self._cond.notify_all()
+
+    @property
+    def participants(self) -> int:
+        """Number of currently registered participants."""
+        with self._cond:
+            return self._participants
+
+    # ------------------------------------------------------------------
+    def _take_batch(self, shape: tuple[int, ...]) -> list[_Request]:
+        batch = [r for r in self._pending if r.b.shape == shape]
+        self._pending = [r for r in self._pending if r.b.shape != shape]
+        return batch
+
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
+        """Submit one request and block until its batch has been solved."""
+        m = self._metrics if self._metrics is not None else get_metrics()
+        req = _Request(np.asarray(b), np.asarray(solid))
+        deadline = time.monotonic() + self.max_wait
+        batch: list[_Request] | None = None
+        with self._cond:
+            self._pending.append(req)
+            self._cond.notify_all()
+            while req.result is None and req.error is None:
+                same_shape = sum(1 for r in self._pending if r.b.shape == req.b.shape)
+                full = same_shape >= max(1, self._participants)
+                expired = time.monotonic() >= deadline
+                if not self._busy and same_shape > 0 and (full or expired):
+                    # leader election: this thread dispatches the batch
+                    self._busy = True
+                    batch = self._take_batch(req.b.shape)
+                    break
+                timeout = None if full else max(1e-4, deadline - time.monotonic())
+                self._cond.wait(timeout)
+        if batch is None:
+            if req.error is not None:
+                raise req.error
+            assert req.result is not None
+            return req.result
+
+        try:
+            results = self.solver.solve_many(
+                [r.b for r in batch], [r.solid for r in batch]
+            )
+            m.inc("farm/batch/dispatches")
+            m.inc("farm/batch/requests", len(batch))
+            m.observe("farm/batch/size", float(len(batch)))
+        except BaseException as exc:
+            with self._cond:
+                for r in batch:
+                    r.error = exc
+                self._busy = False
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            for r, res in zip(batch, results):
+                r.result = res
+            self._busy = False
+            self._cond.notify_all()
+        assert req.result is not None
+        return req.result
+
+
+class BatchingSolverProxy(PressureSolver):
+    """Per-job :class:`PressureSolver` façade over the shared service.
+
+    Each concurrent job owns one proxy; ``solve`` forwards to the service
+    and blocks until the stacked inference containing this request returns.
+    """
+
+    name = "nn-batched"
+
+    def __init__(self, service: BatchedInferenceService):
+        self.service = service
+
+    def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
+        return self.service.solve(b, solid)
+
+    def reset(self) -> None:  # the shared solver owns all cached state
+        pass

@@ -1,0 +1,139 @@
+"""Job schema of the simulation farm: :class:`JobSpec` and :class:`JobResult`.
+
+A *job* is one complete simulation run described declaratively — scenario
+(grid size + input-problem seed), solver configuration, step budget, quality
+requirement and fault-tolerance policy.  Specs are frozen, hashable and
+JSON round-trippable, so job lists can be generated, sharded across worker
+processes, persisted and replayed.
+
+A :class:`JobResult` is the worker's account of what actually happened:
+terminal status, how many steps ran, which solver finished the job (it may
+differ from the requested one after a degradation), whether the job resumed
+from a checkpoint, retry count, wall/solve seconds, the final DivNorm
+diagnostics and the worker's metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["JobSpec", "JobResult", "SOLVER_CHOICES"]
+
+#: solver identifiers a JobSpec may request
+SOLVER_CHOICES = ("pcg", "jacobi-pcg", "jacobi", "multigrid", "nn")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Declarative description of one simulation run.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier within a farm submission.
+    grid_size, seed:
+        The :class:`repro.data.InputProblem` this job simulates.
+    steps:
+        Step budget of the run.
+    solver:
+        Requested pressure solver (one of :data:`SOLVER_CHOICES`).
+    solver_params:
+        Keyword arguments forwarded to the solver constructor (e.g.
+        ``{"tol": 1e-4}`` for PCG, ``{"passes": 2}`` for NN).
+    model_dir:
+        For ``solver="nn"``: directory saved by :func:`repro.io.save_model`
+        holding trained weights.  ``None`` builds a seeded untrained
+        Tompson-style network (useful for throughput work; quality then
+        leans on the defect-correction passes and the divergence guard).
+    divnorm_limit:
+        Quality requirement: if a step's DivNorm exceeds this (or is not
+        finite) the run is declared *diverged* and degrades to exact PCG.
+        ``None`` disables the guard (non-finite values still trigger it).
+    checkpoint_every:
+        Save a checkpoint every N completed steps (0 disables).
+    timeout_seconds:
+        Wall-clock budget per attempt; the farm kills and retries a worker
+        exceeding it.  ``None`` means unbounded.
+    max_retries:
+        How many times the farm may re-run the job after a worker fault
+        (crash, timeout).  Retries resume from the latest checkpoint.
+    fail_at_step:
+        Fault injection for testing: trigger an artificial worker failure
+        just before executing this step, on the first attempt only.
+    fail_mode:
+        Flavour of the injected failure: ``"raise"`` raises inside the
+        stepping loop (exercises graceful degradation to PCG), ``"crash"``
+        hard-kills the worker process (exercises the farm's reap/retry and
+        checkpoint-resume path; downgraded to ``"raise"`` when the job runs
+        in-process).
+    """
+
+    job_id: str
+    grid_size: int = 32
+    seed: int = 0
+    steps: int = 16
+    solver: str = "pcg"
+    solver_params: dict = field(default_factory=dict)
+    model_dir: str | None = None
+    divnorm_limit: float | None = None
+    checkpoint_every: int = 0
+    timeout_seconds: float | None = None
+    max_retries: int = 1
+    fail_at_step: int | None = None
+    fail_mode: str = "raise"
+
+    def __post_init__(self):
+        if self.solver not in SOLVER_CHOICES:
+            raise ValueError(f"unknown solver {self.solver!r}; expected one of {SOLVER_CHOICES}")
+        if self.fail_mode not in ("raise", "crash"):
+            raise ValueError(f"unknown fail_mode {self.fail_mode!r}")
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        # frozen dataclass: route around __setattr__ to normalise the dict
+        object.__setattr__(self, "solver_params", dict(self.solver_params))
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**d)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job as reported by the worker that finished it."""
+
+    job_id: str
+    status: str  # "completed" | "failed"
+    steps_done: int = 0
+    solver_used: str = ""
+    degraded: bool = False
+    resumed_from: int | None = None
+    retries: int = 0
+    wall_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    final_divnorm: float = float("nan")
+    cum_divnorm: float = 0.0
+    error: str | None = None
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the job ran its full step budget."""
+        return self.status == "completed"
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(**d)

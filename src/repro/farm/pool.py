@@ -1,0 +1,357 @@
+"""The simulation farm: concurrent job execution with fault tolerance.
+
+:class:`SimulationFarm` runs a list of :class:`~repro.farm.jobs.JobSpec`
+through one of three backends:
+
+``process`` (default)
+    One OS process per running job, up to ``workers`` slots.  The parent
+    monitors every worker: a result on the queue completes the job; a dead
+    process without a result (crash, OOM kill) or a per-job timeout gets
+    the job requeued up to ``spec.max_retries`` times, resuming from its
+    latest checkpoint.  Worker registries are shipped back inside each
+    :class:`~repro.farm.jobs.JobResult` and merged into the farm profile.
+
+``batched``
+    One thread per job inside this process, NN jobs sharing one
+    :class:`~repro.farm.batching.BatchedInferenceService` so concurrent
+    pressure projections run as stacked CNN forward passes.
+
+``serial``
+    Jobs run inline one after another — the baseline the farm's throughput
+    is measured against (``repro bench``, ``BENCH_pr2.json``).
+
+In-run failures (NN raising, divergence, injected faults) never reach the
+pool: :func:`~repro.farm.worker.run_job` degrades those to exact PCG
+internally.  The pool only handles *hard* faults — the ones a single
+process cannot survive.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.metrics import MetricsRegistry, set_metrics
+
+from .jobs import JobResult, JobSpec
+from .worker import _WORKER_ENV, build_solver, run_job
+
+__all__ = ["FarmReport", "SimulationFarm", "BACKENDS"]
+
+BACKENDS = ("process", "batched", "serial")
+
+
+@dataclass
+class FarmReport:
+    """Aggregate outcome of one farm submission."""
+
+    results: list[JobResult]
+    backend: str
+    workers: int
+    wall_seconds: float
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def completed(self) -> list[JobResult]:
+        """Jobs that ran their full step budget."""
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> list[JobResult]:
+        """Jobs that exhausted retries or degradations."""
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def total_steps(self) -> int:
+        """Simulation steps completed across all jobs."""
+        return sum(r.steps_done for r in self.results)
+
+    @property
+    def jobs_per_second(self) -> float:
+        """Completed jobs per wall-clock second of the submission."""
+        return len(self.completed) / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def steps_per_second(self) -> float:
+        """Simulation steps per wall-clock second of the submission."""
+        return self.total_steps / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation of the report."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "jobs": len(self.results),
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "total_steps": self.total_steps,
+            "jobs_per_second": self.jobs_per_second,
+            "steps_per_second": self.steps_per_second,
+            "results": [r.to_dict() for r in self.results],
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+def _process_worker_entry(spec_dict: dict, checkpoint_dir: str | None, attempt: int, out_queue) -> None:
+    """Worker-process main: run one job, ship the result dict back."""
+    os.environ[_WORKER_ENV] = "1"
+    m = MetricsRegistry()
+    set_metrics(m)  # the worker's whole profile lands in one shippable registry
+    spec = JobSpec.from_dict(spec_dict)
+    try:
+        result = run_job(spec, checkpoint_dir, metrics=m, attempt=attempt)
+    except BaseException as exc:  # harness-level error: report, don't hang the farm
+        result = JobResult(
+            job_id=spec.job_id,
+            status="failed",
+            retries=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+            metrics=m.to_dict(),
+        )
+    out_queue.put((spec.job_id, attempt, result.to_dict()))
+
+
+class SimulationFarm:
+    """Execute many simulation jobs concurrently, tolerating worker faults.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent job slots (default: CPU count, capped at 8).
+    backend:
+        ``"process"``, ``"batched"`` or ``"serial"`` (see module docstring).
+    checkpoint_dir:
+        Directory for job checkpoints.  Defaults to a temporary directory
+        that lives for the duration of one :meth:`run` call — long enough
+        for crash-retry resume, cleaned up afterwards.
+    metrics:
+        Farm-level registry all per-worker profiles are merged into.
+    poll_seconds:
+        Parent supervision cadence of the process backend.
+    batch_max_wait:
+        ``max_wait`` of the batched backend's inference service.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str = "process",
+        checkpoint_dir: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+        poll_seconds: float = 0.02,
+        batch_max_wait: float = 0.05,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self.workers = workers if workers is not None else min(8, os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.backend = backend
+        self.checkpoint_dir = checkpoint_dir
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.poll_seconds = poll_seconds
+        self.batch_max_wait = batch_max_wait
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[JobSpec]) -> FarmReport:
+        """Run all jobs to a terminal state and return the merged report."""
+        jobs = list(jobs)
+        ids = [j.job_id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job_ids within one submission must be unique")
+        t0 = time.perf_counter()
+        tmp: tempfile.TemporaryDirectory | None = None
+        ckpt_dir = self.checkpoint_dir
+        if ckpt_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-farm-")
+            ckpt_dir = tmp.name
+        try:
+            runner = {
+                "process": self._run_process,
+                "batched": self._run_batched,
+                "serial": self._run_serial,
+            }[self.backend]
+            results = runner(jobs, str(ckpt_dir))
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+        wall = time.perf_counter() - t0
+        for r in results:
+            self.metrics.merge(r.metrics)
+        self.metrics.inc("farm/jobs", len(results))
+        self.metrics.inc("farm/jobs_completed", sum(1 for r in results if r.ok))
+        self.metrics.inc("farm/jobs_failed", sum(1 for r in results if not r.ok))
+        order = {job_id: i for i, job_id in enumerate(ids)}
+        results.sort(key=lambda r: order[r.job_id])
+        return FarmReport(
+            results=results,
+            backend=self.backend,
+            workers=self.workers,
+            wall_seconds=wall,
+            metrics=self.metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, jobs: list[JobSpec], ckpt_dir: str) -> list[JobResult]:
+        return [run_job(spec, ckpt_dir, metrics=MetricsRegistry()) for spec in jobs]
+
+    # ------------------------------------------------------------------
+    def _run_process(self, jobs: list[JobSpec], ckpt_dir: str) -> list[JobResult]:
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+        out_queue: mp.Queue = ctx.Queue()
+        pending: deque[tuple[JobSpec, int]] = deque((spec, 0) for spec in jobs)
+        running: dict[str, tuple[mp.Process, JobSpec, int, float]] = {}
+        results: dict[str, JobResult] = {}
+
+        def reap(job_id: str, spec: JobSpec, attempt: int, reason: str) -> None:
+            """Handle a worker that died or overran without reporting."""
+            self.metrics.inc(f"farm/{reason}")
+            if attempt < spec.max_retries:
+                self.metrics.inc("farm/retries")
+                pending.append((spec, attempt + 1))
+            else:
+                results[job_id] = JobResult(
+                    job_id=job_id,
+                    status="failed",
+                    retries=attempt,
+                    error=f"worker {reason} after {attempt + 1} attempt(s)",
+                )
+
+        def drain(block_seconds: float) -> None:
+            """Move every queued worker result into ``results``."""
+            block = block_seconds
+            while True:
+                try:
+                    job_id, attempt, result_dict = out_queue.get(timeout=block)
+                except queue_mod.Empty:
+                    return
+                block = 0.0  # only the first get blocks
+                entry = running.get(job_id)
+                if entry is not None and entry[2] == attempt:
+                    entry[0].join()
+                    entry[0].close()
+                    del running[job_id]
+                    results[job_id] = JobResult.from_dict(result_dict)
+                # else: stale result of a superseded attempt — drop it
+
+        while pending or running:
+            while pending and len(running) < self.workers:
+                spec, attempt = pending.popleft()
+                proc = ctx.Process(
+                    target=_process_worker_entry,
+                    args=(spec.to_dict(), ckpt_dir, attempt, out_queue),
+                    daemon=True,
+                )
+                proc.start()
+                deadline = (
+                    time.monotonic() + spec.timeout_seconds
+                    if spec.timeout_seconds is not None
+                    else float("inf")
+                )
+                running[spec.job_id] = (proc, spec, attempt, deadline)
+
+            drain(self.poll_seconds)
+
+            now = time.monotonic()
+            for job_id, (proc, spec, attempt, deadline) in list(running.items()):
+                if job_id not in running:
+                    continue  # completed during a grace drain below
+                if not proc.is_alive():
+                    # the exit may have raced its own result through the
+                    # queue: give the pipe a moment before declaring death
+                    grace = time.monotonic() + 0.5
+                    while job_id in running and time.monotonic() < grace:
+                        drain(0.02)
+                    if job_id not in running:
+                        continue
+                    proc.join()
+                    proc.close()
+                    del running[job_id]
+                    reap(job_id, spec, attempt, "worker_deaths")
+                elif now >= deadline:
+                    proc.terminate()
+                    proc.join(5.0)
+                    if proc.is_alive():  # pragma: no cover - stubborn worker
+                        proc.kill()
+                        proc.join(5.0)
+                    proc.close()
+                    del running[job_id]
+                    reap(job_id, spec, attempt, "timeouts")
+        out_queue.close()
+        return list(results.values())
+
+    # ------------------------------------------------------------------
+    def _run_batched(self, jobs: list[JobSpec], ckpt_dir: str) -> list[JobResult]:
+        from repro.models import NNProjectionSolver, tompson_arch
+
+        from .batching import BatchedInferenceService, BatchingSolverProxy
+
+        nn_jobs = [j for j in jobs if j.solver == "nn"]
+        service: BatchedInferenceService | None = None
+        if nn_jobs:
+            # the shared model: seeded by the first NN job so a single-job
+            # batched farm matches its serial counterpart exactly
+            first = nn_jobs[0]
+            shared = build_solver(first, "nn", self.metrics)
+            assert isinstance(shared, NNProjectionSolver)
+            service = BatchedInferenceService(
+                shared, max_wait=self.batch_max_wait, metrics=self.metrics
+            )
+
+        registered: dict[str, bool] = {}
+
+        def leave_service(spec: JobSpec) -> None:
+            if service is not None and registered.get(spec.job_id):
+                registered[spec.job_id] = False
+                service.unregister()
+
+        def solver_factory(spec: JobSpec, kind: str, metrics: MetricsRegistry):
+            if kind == "nn" and service is not None:
+                return BatchingSolverProxy(service)
+            leave_service(spec)  # degraded away from NN: stop batching on this job
+            return build_solver(spec, kind, metrics)
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        sem = threading.Semaphore(self.workers)
+
+        def runner(i: int, spec: JobSpec) -> None:
+            with sem:
+                # register only once actually running, so queued jobs
+                # don't make live batches wait for them
+                if service is not None and spec.solver == "nn":
+                    registered[spec.job_id] = True
+                    service.register()
+                m = MetricsRegistry()
+                try:
+                    results[i] = run_job(
+                        spec, ckpt_dir, metrics=m, solver_factory=solver_factory
+                    )
+                except BaseException as exc:
+                    results[i] = JobResult(
+                        job_id=spec.job_id,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        metrics=m.to_dict(),
+                    )
+                finally:
+                    leave_service(spec)
+
+        threads = [
+            threading.Thread(target=runner, args=(i, spec), daemon=True)
+            for i, spec in enumerate(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return [r for r in results if r is not None]

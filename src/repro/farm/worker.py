@@ -1,0 +1,190 @@
+"""Job execution: one :class:`JobSpec` in, one :class:`JobResult` out.
+
+:func:`run_job` is the whole lifecycle of a simulation job and is backend
+agnostic — the farm calls it from a worker process, a thread or inline:
+
+1. build the input problem and the requested solver;
+2. resume from the job's checkpoint if one exists (a previous attempt was
+   preempted or crashed after saving);
+3. step the simulation, checkpointing every ``spec.checkpoint_every`` steps
+   and watching the DivNorm quality guard;
+4. on *any* in-run failure — the NN solver raising, the run diverging past
+   ``spec.divnorm_limit``, an injected fault — degrade gracefully: switch to
+   the exact PCG solver and resume from the latest checkpoint (or restart
+   from step 0 if none), mirroring the paper's "restart with the exact
+   method" runtime policy (Algorithm 2's fallback);
+5. report a structured :class:`JobResult` carrying the worker's private
+   metrics snapshot for the farm to merge.
+
+Hard faults (``fail_mode="crash"``, real segfaults, OOM kills) end the
+process without a result; the pool reaps the corpse and retries the job,
+which then resumes from the checkpoint in step 2.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import InputProblem
+from repro.fluid import FluidSimulator, JacobiSolver, MultigridSolver, PCGSolver
+from repro.metrics import MetricsRegistry
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .jobs import JobResult, JobSpec
+
+__all__ = [
+    "InjectedWorkerFailure",
+    "SimulationDiverged",
+    "build_solver",
+    "run_job",
+]
+
+#: environment marker set by the process-pool entry so ``fail_mode="crash"``
+#: only hard-exits inside an expendable worker process
+_WORKER_ENV = "REPRO_FARM_WORKER"
+
+
+class InjectedWorkerFailure(RuntimeError):
+    """Artificial failure raised by ``fail_at_step`` fault injection."""
+
+
+class SimulationDiverged(RuntimeError):
+    """The run violated its quality requirement (DivNorm guard)."""
+
+
+def build_solver(spec: JobSpec, kind: str, metrics: MetricsRegistry):
+    """Construct the pressure solver ``kind`` for a job.
+
+    ``kind`` is usually ``spec.solver`` but the degradation path passes
+    ``"pcg"`` explicitly; ``spec.solver_params`` only apply to the solver
+    the spec asked for, so the fallback PCG always uses its exact defaults.
+    """
+    params = dict(spec.solver_params) if kind == spec.solver else {}
+    if kind == "pcg":
+        return PCGSolver(metrics=metrics, **params)
+    if kind == "jacobi-pcg":
+        return PCGSolver(preconditioner="jacobi", metrics=metrics, **params)
+    if kind == "jacobi":
+        return JacobiSolver(metrics=metrics, **params)
+    if kind == "multigrid":
+        return MultigridSolver(metrics=metrics, **params)
+    if kind == "nn":
+        from repro.models import NNProjectionSolver
+
+        passes = params.pop("passes", 2)
+        if spec.model_dir is not None:
+            from repro.io import load_model
+
+            model = load_model(spec.model_dir).network
+        else:
+            from repro.models import tompson_arch
+
+            channels = params.pop("channels", 4)
+            model = tompson_arch(channels).build(rng=spec.seed)
+        return NNProjectionSolver(model, passes=passes, metrics=metrics, **params)
+    raise ValueError(f"unknown solver kind {kind!r}")
+
+
+def _checkpoint_path(spec: JobSpec, checkpoint_dir: str | Path | None) -> Path | None:
+    if checkpoint_dir is None:
+        return None
+    return Path(checkpoint_dir) / f"{spec.job_id}.ckpt.npz"
+
+
+def run_job(
+    spec: JobSpec,
+    checkpoint_dir: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
+    attempt: int = 0,
+    solver_factory=None,
+) -> JobResult:
+    """Execute one job to completion (or bounded failure) and report it.
+
+    ``solver_factory(spec, kind, metrics)``, when given, replaces
+    :func:`build_solver` — the batched backend uses it to hand NN jobs a
+    proxy that routes solves through the shared inference service.
+    """
+    m = metrics if metrics is not None else MetricsRegistry()
+    factory = solver_factory if solver_factory is not None else build_solver
+    ckpt = _checkpoint_path(spec, checkpoint_dir)
+    t0 = time.perf_counter()
+
+    def make_sim(kind: str) -> FluidSimulator:
+        grid, source = InputProblem(spec.grid_size, spec.seed).materialize()
+        return FluidSimulator(grid, factory(spec, kind, m), source, metrics=m)
+
+    solver_kind = spec.solver
+    sim = make_sim(solver_kind)
+    resumed_from: int | None = None
+    if ckpt is not None and ckpt.exists():
+        sim.load_state(load_checkpoint(ckpt))
+        resumed_from = sim.current_step
+        m.inc("farm/resumes")
+
+    degraded = False
+    error: str | None = None
+    status = "completed"
+    inject_at = spec.fail_at_step if attempt == 0 else None
+    while sim.current_step < spec.steps:
+        try:
+            if inject_at is not None and sim.current_step == inject_at:
+                inject_at = None
+                if spec.fail_mode == "crash" and os.environ.get(_WORKER_ENV):
+                    os._exit(17)  # hard worker death: no result, no cleanup
+                raise InjectedWorkerFailure(
+                    f"injected failure at step {sim.current_step}"
+                )
+            rec = sim.step()
+            if not np.isfinite(rec.divnorm) or (
+                spec.divnorm_limit is not None and rec.divnorm > spec.divnorm_limit
+            ):
+                raise SimulationDiverged(
+                    f"DivNorm {rec.divnorm:.3g} at step {rec.step} "
+                    f"exceeds limit {spec.divnorm_limit}"
+                )
+            if (
+                ckpt is not None
+                and spec.checkpoint_every > 0
+                and sim.current_step % spec.checkpoint_every == 0
+            ):
+                save_checkpoint(sim, ckpt)
+                m.inc("farm/checkpoints")
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            if degraded:
+                status, error = "failed", f"{type(exc).__name__}: {exc}"
+                m.inc("farm/job_failures")
+                break
+            # graceful degradation: the exact method from the last good state
+            degraded = True
+            solver_kind = "pcg"
+            m.inc("farm/degradations")
+            sim = make_sim(solver_kind)
+            if ckpt is not None and ckpt.exists():
+                sim.load_state(load_checkpoint(ckpt))
+                resumed_from = sim.current_step
+                m.inc("farm/resumes")
+
+    divnorms = np.concatenate(
+        [sim._restored_divnorms, [r.divnorm for r in sim.records]]
+    )
+    return JobResult(
+        job_id=spec.job_id,
+        status=status,
+        steps_done=sim.current_step,
+        solver_used=solver_kind,
+        degraded=degraded,
+        resumed_from=resumed_from,
+        retries=attempt,
+        wall_seconds=time.perf_counter() - t0,
+        solve_seconds=sum(r.projection.solve_seconds for r in sim.records),
+        final_divnorm=float(divnorms[-1]) if divnorms.size else float("nan"),
+        cum_divnorm=float(divnorms.sum()),
+        error=error,
+        metrics=m.to_dict(),
+    )

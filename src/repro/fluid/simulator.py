@@ -130,6 +130,8 @@ class FluidSimulator:
         self.weights = divnorm_weights(grid.solid, self.config.divnorm_k)
         self.records: list[StepRecord] = []
         self._step = 0
+        #: DivNorm history of steps executed before a checkpoint restore
+        self._restored_divnorms = np.zeros(0, dtype=np.float64)
 
     def step(self) -> StepRecord:
         """Advance the simulation by one time step."""
@@ -179,3 +181,64 @@ class FluidSimulator:
             records=list(self.records),
             total_seconds=time.perf_counter() - t0,
         )
+
+    @property
+    def current_step(self) -> int:
+        """Index of the next step to execute (= steps completed so far)."""
+        return self._step
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict[str, np.ndarray]:
+        """Snapshot the simulation state as a dict of arrays.
+
+        The snapshot captures everything the time-stepping loop reads — the
+        MAC-grid fields, the cell flags and the step counter — plus the
+        DivNorm history for diagnostics continuity.  It deliberately excludes
+        the solver (rebuilt from configuration; its per-geometry caches
+        repopulate on the first post-restore step) and the per-step records
+        (their ``ProjectionInfo`` is diagnostic, not state).  The dict is
+        ``np.savez``-compatible; see :mod:`repro.farm.checkpoint`.
+        """
+        g = self.grid
+        return {
+            "step": np.asarray(self._step, dtype=np.int64),
+            "dx": np.asarray(g.dx, dtype=np.float64),
+            "u": g.u.copy(),
+            "v": g.v.copy(),
+            "pressure": g.pressure.copy(),
+            "density": g.density.copy(),
+            "flags": g.flags.copy(),
+            "divnorm_history": np.array([r.divnorm for r in self.records], dtype=np.float64),
+        }
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`save_state` snapshot onto this simulator.
+
+        The grid must have the same resolution as the snapshot.  Restoring
+        replaces the flags (and hence the DivNorm weights, recomputed from
+        the restored solid mask), resets the per-step records, and asks the
+        solver to drop caches keyed on the old geometry.  A restored run
+        continues bit-for-bit identically to the original, provided the
+        solver is history-independent (warm-start off — the default).
+        """
+        g = self.grid
+        u, v = np.asarray(state["u"]), np.asarray(state["v"])
+        if u.shape != g.u.shape or v.shape != g.v.shape:
+            raise ValueError(
+                f"checkpoint grid {np.asarray(state['flags']).shape} does not match "
+                f"simulator grid {g.shape}"
+            )
+        g.u = u.copy()
+        g.v = v.copy()
+        g.pressure = np.asarray(state["pressure"]).copy()
+        g.density = np.asarray(state["density"]).copy()
+        g.flags = np.asarray(state["flags"]).astype(g.flags.dtype).copy()
+        g.dx = float(state["dx"])
+        self.weights = divnorm_weights(g.solid, self.config.divnorm_k)
+        self._step = int(state["step"])
+        self.records = []
+        self._restored_divnorms = np.asarray(state["divnorm_history"], dtype=np.float64)
+        if hasattr(self.solver, "reset"):
+            self.solver.reset()

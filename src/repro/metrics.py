@@ -27,12 +27,21 @@ export
 Instrumented components accept an optional ``metrics`` argument and default
 to the process-wide registry (:func:`get_metrics`), so existing call sites
 stay unchanged while still contributing to the global profile.
+
+The default registry is *fork-aware*: a child process inherits the parent's
+registry object at fork time, so without care its metrics would land in a
+copy the parent never reads.  :func:`get_metrics` detects the PID change and
+transparently installs a fresh registry in the child; workers are expected
+to ship their snapshot back (``to_dict``) for the parent to fold in with
+:meth:`MetricsRegistry.merge`, which is how :mod:`repro.farm` aggregates
+per-worker profiles into one farm-level report.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -69,6 +78,15 @@ class TimerStat:
     def mean(self) -> float:
         """Mean seconds per observation (0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "TimerStat") -> None:
+        """Fold another aggregate into this one (commutative)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (``min`` is null when empty)."""
@@ -155,6 +173,24 @@ class MetricsRegistry:
         """Current value of a counter (0 if never incremented)."""
         return self.counters.get(name, 0.0)
 
+    def merge(self, other: "MetricsRegistry | dict") -> "MetricsRegistry":
+        """Fold another registry (or a ``to_dict`` snapshot) into this one.
+
+        Counters add; timers combine their aggregates.  Merging is
+        commutative and associative, so per-worker registries can be folded
+        into a farm-level report in any order.  Returns ``self``.
+        """
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_dict(other)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = TimerStat()
+            mine.merge(stat)
+        return self
+
     def reset(self) -> None:
         """Drop all recorded counters and timers (keeps enabled state)."""
         self.counters.clear()
@@ -190,21 +226,34 @@ class MetricsRegistry:
 NULL_METRICS = MetricsRegistry(enabled=False)
 
 _default = MetricsRegistry()
+_default_pid = os.getpid()
 
 
 def get_metrics() -> MetricsRegistry:
-    """The process-wide default registry instrumented code reports into."""
+    """The process-wide default registry instrumented code reports into.
+
+    Fork-aware: a forked (or spawned) child inherits the parent's registry
+    object, so its metrics would otherwise accumulate in a copy the parent
+    never sees.  On the first call after a PID change the child gets its own
+    fresh registry; workers snapshot it (``to_dict``) and ship it back for
+    the parent to :meth:`~MetricsRegistry.merge`.
+    """
+    global _default, _default_pid
+    if os.getpid() != _default_pid:
+        _default = MetricsRegistry()
+        _default_pid = os.getpid()
     return _default
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     """Replace the process-wide default registry; returns the previous one."""
-    global _default
+    global _default, _default_pid
     previous = _default
     _default = registry
+    _default_pid = os.getpid()
     return previous
 
 
 def reset_metrics() -> None:
     """Clear the process-wide default registry."""
-    _default.reset()
+    get_metrics().reset()

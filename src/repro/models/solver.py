@@ -17,13 +17,24 @@ land in the same quality band — a documented substitution (see DESIGN.md).
 The returned pressure is zeroed on solids and mean-centred over fluid,
 matching the exact solver's convention.
 
-Hot-path caching: the stacked network input ``(1, 2, H, W)`` is a reused
+Hot-path caching: the stacked network input ``(N, 2, H, W)`` is a reused
 workspace buffer, and the float view of the geometry channel is cached per
 solid mask, so steady-state inference performs no per-call input
 allocations.  ``reset()`` drops both.
+
+Batch dimension: :meth:`NNProjectionSolver.solve_many` assembles *several*
+same-shape problems (possibly with different solid masks) into one stacked
+``(N, 2, H, W)`` tensor and runs the defect-correction passes as batched
+forward passes — one CNN inference per pass for the whole batch, which is
+how the farm's batched inference service amortises inference across
+concurrent simulations (cf. Tompson et al.'s batched training/inference).
+The single-sample :meth:`~NNProjectionSolver.solve` is the ``N = 1`` case
+of the same code path.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -52,7 +63,7 @@ class NNProjectionSolver(PressureSolver):
         self.passes = passes
         self._metrics = metrics
         self._geo_cache = MaskKeyedCache("nn_geometry")
-        self._x: np.ndarray | None = None  # reused (1, 2, H, W) input workspace
+        self._x: np.ndarray | None = None  # reused (N, 2, H, W) input workspace
 
     def reset(self) -> None:
         """Drop the cached geometry channel and all workspace buffers."""
@@ -69,41 +80,109 @@ class NNProjectionSolver(PressureSolver):
         """Approximate the Poisson solution with ``passes`` network inferences."""
         metrics = self._metrics if self._metrics is not None else get_metrics()
         with metrics.timer(f"solver/{self.name}/solve"):
-            result = self._solve(b, solid, metrics)
+            result = self._solve_many([b], [solid], metrics)[0]
         metrics.inc(f"solver/{self.name}/solves")
         metrics.inc(f"solver/{self.name}/inferences", result.iterations)
         return result
 
-    def _solve(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
-        fluid = ~solid
-        nf = int(fluid.sum())
-        if nf == 0:
-            return SolveResult(np.zeros_like(b), 0, True, 0.0)
+    def solve_many(
+        self, bs: Sequence[np.ndarray], solids: Sequence[np.ndarray]
+    ) -> list[SolveResult]:
+        """Solve several same-shape problems with stacked batch inference.
+
+        All right-hand sides (and masks) must share one ``(H, W)`` shape;
+        the masks themselves may differ — each sample carries its own
+        geometry channel.  Every defect-correction pass runs the CNN once
+        over the whole ``(N, 2, H, W)`` stack, so inference cost per sample
+        drops with batch size.  Results match per-sample :meth:`solve`
+        calls exactly (same operations, same order).
+        """
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        with metrics.timer(f"solver/{self.name}/solve_batch"):
+            results = self._solve_many(list(bs), list(solids), metrics)
+        metrics.inc(f"solver/{self.name}/batch_solves")
+        metrics.inc(f"solver/{self.name}/solves", len(results))
+        metrics.inc(f"solver/{self.name}/batched_samples", len(results))
+        metrics.inc(
+            f"solver/{self.name}/inferences", sum(r.iterations for r in results)
+        )
+        return results
+
+    def _solve_many(
+        self,
+        bs: list[np.ndarray],
+        solids: list[np.ndarray],
+        metrics: MetricsRegistry,
+    ) -> list[SolveResult]:
+        if len(bs) != len(solids):
+            raise ValueError(f"{len(bs)} right-hand sides but {len(solids)} masks")
+        n = len(bs)
+        if n == 0:
+            return []
+        shape = bs[0].shape
+        for arr in list(bs) + list(solids):
+            if arr.shape != shape:
+                raise ValueError(
+                    f"batched solve requires one shared shape, got {arr.shape} != {shape}"
+                )
         from repro.fluid.laplacian import remove_nullspace
 
-        b = remove_nullspace(b, solid)
-        geo = self._geo_cache.get(solid, lambda: solid.astype(np.float64), metrics)
+        fluids = [~s for s in solids]
+        nfs = [int(f.sum()) for f in fluids]
 
-        if self._x is None or self._x.shape[2:] != b.shape:
-            self._x = np.empty((1, 2) + b.shape, dtype=np.float64)
-        self._x[0, 1] = geo
+        # stacked input workspace; capacity-based so shrinking batches
+        # (jobs finishing at different times) reuse the same buffer
+        if (
+            self._x is None
+            or self._x.shape[0] < n
+            or self._x.shape[2:] != shape
+        ):
+            self._x = np.empty((n, 2) + shape, dtype=np.float64)
+        x = self._x[:n]
+        for i, solid in enumerate(solids):
+            if n == 1:
+                x[i, 1] = self._geo_cache.get(
+                    solid, lambda: solid.astype(np.float64), metrics
+                )
+            else:
+                x[i, 1] = solid
 
-        p = np.zeros_like(b)
-        r = b
-        done = 0
+        B = [remove_nullspace(b, s) if nf else np.zeros_like(b) for b, s, nf in zip(bs, solids, nfs)]
+        P = [np.zeros_like(b) for b in bs]
+        R = list(B)
+        done = [0] * n
         for _ in range(self.passes):
-            sigma = float(r[fluid].std())
-            if sigma < 1e-300:
+            sigmas = [
+                float(R[i][fluids[i]].std()) if nfs[i] else 0.0 for i in range(n)
+            ]
+            active = [i for i in range(n) if sigmas[i] >= 1e-300]
+            if not active:
                 break
-            np.divide(r, sigma, out=self._x[0, 0])
-            dp = self.model.forward(self._x, training=False)[0, 0] * sigma
-            p = p + np.where(fluid, dp, 0.0)
-            r = remove_nullspace(b - apply_laplacian(p, solid), solid)
-            done += 1
-        p = remove_nullspace(p, solid)
-        residual = float(np.abs(r[fluid]).max())
-        flops = done * (self.model.flops((2,) + b.shape) + 12.0 * nf)
-        return SolveResult(p, done, True, residual, flops)
+            for i in range(n):
+                if i in active:
+                    np.divide(R[i], sigmas[i], out=x[i, 0])
+                else:
+                    x[i, 0] = 0.0
+            out = self.model.forward(x, training=False)
+            for i in active:
+                dp = out[i, 0] * sigmas[i]
+                P[i] = P[i] + np.where(fluids[i], dp, 0.0)
+                R[i] = remove_nullspace(
+                    B[i] - apply_laplacian(P[i], solids[i]), solids[i]
+                )
+                done[i] += 1
+
+        results = []
+        model_flops = self.model.flops((2,) + shape)
+        for i in range(n):
+            if nfs[i] == 0:
+                results.append(SolveResult(np.zeros_like(bs[i]), 0, True, 0.0))
+                continue
+            p = remove_nullspace(P[i], solids[i])
+            residual = float(np.abs(R[i][fluids[i]]).max())
+            flops = done[i] * (model_flops + 12.0 * nfs[i])
+            results.append(SolveResult(p, done[i], True, residual, flops))
+        return results
 
     def resource_usage(self, shape: tuple[int, int]):
         """Static FLOP/parameter/memory profile for a given grid shape.

@@ -59,25 +59,34 @@ class Conv2d(Layer):
         Only safe outside training: the returned array is overwritten by the
         next call, while the training path must keep its columns alive for
         ``backward``.
+
+        The buffers are sized by *capacity* along the batch axis: a call
+        with a smaller batch than a previous one reuses the existing
+        allocation through a leading-axis view, so batched callers whose
+        batch shrinks over time (e.g. farm jobs finishing at different
+        steps) never reallocate.
         """
         n, c, h, w = x.shape
         k = self.kernel
         pad = k // 2
-        pshape = (n, c, h + 2 * pad, w + 2 * pad)
+        pshape = (c, h + 2 * pad, w + 2 * pad)
         if (
             self._ws_pad is None
-            or self._ws_pad.shape != pshape
+            or self._ws_pad.shape[1:] != pshape
+            or self._ws_pad.shape[0] < n
             or self._ws_pad.dtype != x.dtype
         ):
             # border stays zero for the buffer's lifetime ("same" padding)
-            self._ws_pad = np.zeros(pshape, dtype=x.dtype)
+            self._ws_pad = np.zeros((n,) + pshape, dtype=x.dtype)
             self._ws_cols = np.empty((n, h * w, c * k * k), dtype=x.dtype)
         else:
             self.workspace_reuses += 1
-        self._ws_pad[:, :, pad : pad + h, pad : pad + w] = x
-        win = sliding_window_view(self._ws_pad, (k, k), axis=(2, 3))
-        np.copyto(self._ws_cols.reshape(n, h, w, c, k, k), win.transpose(0, 2, 3, 1, 4, 5))
-        return self._ws_cols
+        ws_pad = self._ws_pad[:n]
+        ws_cols = self._ws_cols[:n]
+        ws_pad[:, :, pad : pad + h, pad : pad + w] = x
+        win = sliding_window_view(ws_pad, (k, k), axis=(2, 3))
+        np.copyto(ws_cols.reshape(n, h, w, c, k, k), win.transpose(0, 2, 3, 1, 4, 5))
+        return ws_cols
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:

@@ -1,0 +1,79 @@
+"""The `repro farm` CLI subcommand, including the acceptance scenario."""
+
+import json
+
+from repro.cli import main
+
+
+class TestFarmCLI:
+    def test_eight_jobs_with_injected_crash_all_complete(self, capsys):
+        # acceptance criteria: >= 8 concurrent jobs, one injected worker
+        # failure, all jobs complete (checkpoint resume or PCG degradation)
+        code = main(
+            [
+                "farm",
+                "--grid", "16",
+                "--steps", "3",
+                "--jobs", "8",
+                "--workers", "4",
+                "--checkpoint-every", "1",
+                "--inject-failure", "2",
+                "--retries", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8/8 jobs completed" in out
+        assert "resumed@" in out or "degraded->pcg" in out
+
+    def test_json_output_carries_report(self, capsys):
+        code = main(
+            [
+                "farm",
+                "--grid", "16",
+                "--steps", "2",
+                "--jobs", "2",
+                "--backend", "serial",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] == 2
+        assert report["backend"] == "serial"
+        assert report["jobs_per_second"] > 0
+        assert report["metrics"]["counters"]["sim/steps"] == 4.0
+
+    def test_injected_raise_in_serial_backend_degrades(self, capsys):
+        code = main(
+            [
+                "farm",
+                "--grid", "16",
+                "--steps", "3",
+                "--jobs", "2",
+                "--backend", "serial",
+                "--inject-failure", "0",
+                "--fail-mode", "raise",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 jobs completed" in out
+        assert "degraded->pcg" in out
+
+    def test_batched_backend_with_nn_jobs(self, capsys):
+        code = main(
+            [
+                "farm",
+                "--grid", "16",
+                "--steps", "2",
+                "--jobs", "3",
+                "--solver", "nn",
+                "--backend", "batched",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] == 3
+        assert report["metrics"]["counters"]["farm/batch/requests"] == 6.0

@@ -1,0 +1,71 @@
+"""JobSpec/JobResult schema: validation and JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.farm import JobResult, JobSpec
+
+
+class TestJobSpec:
+    def test_round_trips_through_json(self):
+        spec = JobSpec(
+            job_id="j1",
+            grid_size=24,
+            seed=7,
+            steps=12,
+            solver="nn",
+            solver_params={"passes": 3},
+            divnorm_limit=5.0,
+            checkpoint_every=4,
+            timeout_seconds=30.0,
+            max_retries=2,
+            fail_at_step=6,
+            fail_mode="crash",
+        )
+        restored = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+
+    def test_defaults_are_pcg_no_faults(self):
+        spec = JobSpec(job_id="j")
+        assert spec.solver == "pcg"
+        assert spec.fail_at_step is None
+        assert spec.checkpoint_every == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"solver": "bogus"},
+            {"steps": 0},
+            {"checkpoint_every": -1},
+            {"max_retries": -1},
+            {"fail_mode": "explode"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            JobSpec(job_id="j", **kwargs)
+
+
+class TestJobResult:
+    def test_round_trips_through_json(self):
+        res = JobResult(
+            job_id="j1",
+            status="completed",
+            steps_done=12,
+            solver_used="pcg",
+            degraded=True,
+            resumed_from=4,
+            retries=1,
+            wall_seconds=1.5,
+            solve_seconds=0.8,
+            final_divnorm=0.25,
+            cum_divnorm=3.0,
+            metrics={"counters": {"sim/steps": 12.0}, "timers": {}},
+        )
+        restored = JobResult.from_dict(json.loads(json.dumps(res.to_dict())))
+        assert restored == res
+        assert restored.ok
+
+    def test_failed_result_not_ok(self):
+        assert not JobResult(job_id="j", status="failed", error="boom").ok

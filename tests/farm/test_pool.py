@@ -1,0 +1,171 @@
+"""SimulationFarm: backends, fault tolerance, retry/resume, merged metrics."""
+
+import json
+
+import pytest
+
+from repro.farm import FarmReport, JobSpec, SimulationFarm
+
+
+def make_jobs(n, **kwargs):
+    base = dict(grid_size=16, steps=3)
+    base.update(kwargs)
+    return [JobSpec(job_id=f"job-{i}", seed=10 + i, **base) for i in range(n)]
+
+
+class TestSerialBackend:
+    def test_runs_all_jobs(self):
+        farm = SimulationFarm(backend="serial")
+        report = farm.run(make_jobs(3))
+        assert len(report.completed) == 3
+        assert report.total_steps == 9
+        assert report.jobs_per_second > 0
+        # merged farm profile sees every job's simulator counters
+        assert report.metrics.counter("sim/steps") == 9
+        assert report.metrics.counter("farm/jobs") == 3
+
+    def test_duplicate_job_ids_rejected(self):
+        farm = SimulationFarm(backend="serial")
+        jobs = make_jobs(2)
+        with pytest.raises(ValueError, match="unique"):
+            farm.run([jobs[0], jobs[0]])
+
+    def test_report_round_trips_to_json(self):
+        report = SimulationFarm(backend="serial").run(make_jobs(2))
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["completed"] == 2
+        assert blob["backend"] == "serial"
+        assert len(blob["results"]) == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SimulationFarm(backend="gpu")
+
+
+class TestProcessBackend:
+    def test_eight_concurrent_jobs_with_injected_crash(self, tmp_path):
+        # the ISSUE acceptance scenario: >= 8 concurrent jobs, one worker
+        # hard-crashes mid-run, every job still completes (the crashed one
+        # resumes from its checkpoint on retry)
+        jobs = make_jobs(8, checkpoint_every=1, max_retries=2)
+        jobs[3] = JobSpec(
+            job_id="job-3",
+            grid_size=16,
+            seed=13,
+            steps=3,
+            checkpoint_every=1,
+            max_retries=2,
+            fail_at_step=2,
+            fail_mode="crash",
+        )
+        farm = SimulationFarm(workers=4, backend="process", checkpoint_dir=tmp_path)
+        report = farm.run(jobs)
+        assert len(report.results) == 8
+        assert len(report.completed) == 8
+        crashed = next(r for r in report.results if r.job_id == "job-3")
+        assert crashed.retries == 1
+        assert crashed.resumed_from == 2  # resumed, not restarted
+        assert report.metrics.counter("farm/worker_deaths") == 1
+        assert report.metrics.counter("farm/retries") == 1
+        # per-worker registries merged: every *surviving* attempt's steps
+        # are visible (the crashed attempt died with its registry; its
+        # retry resumed at step 2 and recorded only the final step)
+        assert report.metrics.counter("sim/steps") == 7 * 3 + 1
+
+    def test_results_preserve_submission_order(self):
+        report = SimulationFarm(workers=2, backend="process").run(make_jobs(4))
+        assert [r.job_id for r in report.results] == [f"job-{i}" for i in range(4)]
+
+    def test_timeout_kills_and_fails_after_retries(self):
+        jobs = [
+            JobSpec(
+                job_id="slow",
+                grid_size=48,
+                seed=1,
+                steps=500,
+                timeout_seconds=0.6,
+                max_retries=1,
+            )
+        ]
+        farm = SimulationFarm(workers=1, backend="process")
+        report = farm.run(jobs)
+        assert len(report.failed) == 1
+        assert "timeouts" in report.failed[0].error
+        assert report.failed[0].retries == 1
+        assert report.metrics.counter("farm/timeouts") == 2
+
+    def test_in_run_degradation_inside_worker_process(self):
+        jobs = [
+            JobSpec(job_id="nn-fail", grid_size=16, seed=2, steps=3,
+                    solver="nn", fail_at_step=1)
+        ]
+        report = SimulationFarm(workers=1, backend="process").run(jobs)
+        assert report.results[0].ok
+        assert report.results[0].degraded
+        assert report.results[0].solver_used == "pcg"
+        assert report.metrics.counter("farm/degradations") == 1
+
+
+class TestBatchedBackend:
+    def test_batched_nn_jobs_match_serial(self):
+        # same seed -> same untrained model -> identical physics; the
+        # batched backend must reproduce serial results exactly
+        def jobs():
+            return [
+                JobSpec(job_id=f"nn-{i}", grid_size=16, seed=21, steps=3,
+                        solver="nn", solver_params={"passes": 1})
+                for i in range(3)
+            ]
+
+        serial = SimulationFarm(backend="serial").run(jobs())
+        farm = SimulationFarm(workers=3, backend="batched")
+        batched = farm.run(jobs())
+        assert len(batched.completed) == 3
+        for s, b in zip(serial.results, batched.results):
+            assert b.final_divnorm == s.final_divnorm
+            assert b.cum_divnorm == pytest.approx(s.cum_divnorm)
+        # inference actually went through the stacked service
+        assert batched.metrics.counter("farm/batch/dispatches") >= 1
+        assert batched.metrics.counter("farm/batch/requests") == 9
+        assert batched.metrics.counter("solver/nn/batch_solves") >= 1
+
+    def test_mixed_solvers_run_and_only_nn_batches(self):
+        jobs = [
+            JobSpec(job_id="pcg-0", grid_size=16, seed=30, steps=2),
+            JobSpec(job_id="nn-0", grid_size=16, seed=31, steps=2, solver="nn",
+                    solver_params={"passes": 1}),
+        ]
+        report = SimulationFarm(workers=2, backend="batched").run(jobs)
+        assert len(report.completed) == 2
+        assert report.metrics.counter("farm/batch/requests") == 2
+
+    def test_batched_degradation_unregisters(self):
+        jobs = [
+            JobSpec(job_id="nn-a", grid_size=16, seed=40, steps=3, solver="nn",
+                    solver_params={"passes": 1}, fail_at_step=1),
+            JobSpec(job_id="nn-b", grid_size=16, seed=40, steps=3, solver="nn",
+                    solver_params={"passes": 1}),
+        ]
+        report = SimulationFarm(workers=2, backend="batched", batch_max_wait=0.02).run(jobs)
+        assert len(report.completed) == 2
+        degraded = next(r for r in report.results if r.job_id == "nn-a")
+        assert degraded.degraded and degraded.solver_used == "pcg"
+
+
+class TestFarmReport:
+    def test_throughput_properties(self):
+        from repro.farm import JobResult
+
+        report = FarmReport(
+            results=[
+                JobResult(job_id="a", status="completed", steps_done=10),
+                JobResult(job_id="b", status="failed", steps_done=4),
+            ],
+            backend="serial",
+            workers=1,
+            wall_seconds=2.0,
+        )
+        assert report.total_steps == 14
+        assert report.jobs_per_second == 0.5
+        assert report.steps_per_second == 7.0
+        assert len(report.failed) == 1

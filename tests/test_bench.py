@@ -14,6 +14,7 @@ EXPECTED_BENCHMARKS = {
     "pcg_warm_start",
     "simulation_step",
     "nn_inference",
+    "farm_throughput",
 }
 
 
@@ -58,6 +59,15 @@ class TestRunBench:
     def test_nn_inference_reuses_workspace(self, ci_report):
         nn = next(b for b in ci_report["benchmarks"] if b["name"] == "nn_inference")
         assert nn["workspace_reuses"] >= SCALES["ci"].infer_reps
+
+    def test_farm_throughput_compares_same_job_list(self, ci_report):
+        farm = next(b for b in ci_report["benchmarks"] if b["name"] == "farm_throughput")
+        assert farm["params"]["jobs"] == 8
+        assert farm["serial_completed"] == 8
+        assert farm["farm_completed"] == 8
+        assert farm["serial_jobs_per_second"] > 0
+        assert farm["farm_jobs_per_second"] > 0
+        assert farm["speedup"] > 0
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):

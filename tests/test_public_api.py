@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.models",
     "repro.data",
     "repro.core",
+    "repro.farm",
     "repro.experiments",
 ]
 
@@ -33,7 +34,7 @@ def test_module_docstrings(package):
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_top_level_framework_importable():

@@ -96,6 +96,87 @@ class TestJSONRoundTrip:
         assert TimerStat.from_dict(stat.to_dict()).to_dict() == stat.to_dict()
 
 
+class TestMerge:
+    def test_counters_add_and_timers_combine(self):
+        a = MetricsRegistry()
+        a.inc("jobs", 2)
+        a.observe("solve", 0.5)
+        a.observe("solve", 1.5)
+        b = MetricsRegistry()
+        b.inc("jobs", 3)
+        b.inc("retries")
+        b.observe("solve", 0.25)
+        b.observe("other", 1.0)
+        a.merge(b)
+        assert a.counter("jobs") == 5
+        assert a.counter("retries") == 1
+        stat = a.timers["solve"]
+        assert stat.count == 3
+        assert stat.total == 2.25
+        assert stat.min == 0.25
+        assert stat.max == 1.5
+        assert a.timers["other"].count == 1
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.inc("steps", 4)
+        b.observe("t", 0.125)
+        a.merge(b.to_dict())
+        assert a.counter("steps") == 4
+        assert a.timers["t"].count == 1
+
+    def test_merge_is_commutative(self):
+        def build(vals):
+            m = MetricsRegistry()
+            for v in vals:
+                m.inc("n")
+                m.observe("t", v)
+            return m
+
+        ab = build([0.1, 0.2]).merge(build([0.3]))
+        ba = build([0.3]).merge(build([0.1, 0.2]))
+        assert ab.to_dict() == ba.to_dict()
+
+    def test_merge_with_empty_timer_keeps_min_empty_semantics(self):
+        a = MetricsRegistry()
+        a.timers["t"] = TimerStat()
+        b = MetricsRegistry()
+        b.observe("t", 0.5)
+        a.merge(b)
+        assert a.timers["t"].min == 0.5
+        assert a.timers["t"].count == 1
+
+
+class TestForkedDefaultRegistry:
+    def test_forked_child_gets_fresh_registry(self):
+        import multiprocessing as mp
+
+        get_metrics().inc("parent_only")
+
+        def child(q):
+            from repro.metrics import get_metrics as gm
+
+            m = gm()
+            q.put((m.counter("parent_only"), "child" in m.counters))
+            m.inc("child")
+            q.put(gm().counter("child"))
+
+        ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+        q = ctx.Queue()
+        p = ctx.Process(target=child, args=(q,))
+        p.start()
+        p.join(30)
+        assert p.exitcode == 0
+        inherited, had_child = q.get(timeout=5)
+        # the child saw a fresh registry, not the parent's accumulated one
+        assert inherited == 0.0
+        assert not had_child
+        assert q.get(timeout=5) == 1.0
+        # and the parent's registry is untouched by the child's writes
+        assert get_metrics().counter("child") == 0.0
+
+
 class TestDisabledAndGlobal:
     def test_null_metrics_is_noop(self):
         before = (dict(NULL_METRICS.counters), dict(NULL_METRICS.timers))
