@@ -12,7 +12,7 @@ supported entry points and keep working across refactors.
 * simulation — :class:`FluidSimulator`, :class:`SimulationConfig`,
   :class:`SimulationResult`;
 * solvers — :class:`PressureSolver` (the protocol), :class:`PCGSolver`,
-  :class:`JacobiSolver`, :class:`MultigridSolver`,
+  :class:`JacobiSolver`, :class:`MultigridSolver`, :class:`SpectralSolver`,
   :class:`NNProjectionSolver`, :class:`SolveResult`;
 * the framework — :class:`SmartFluidnet`, :class:`UserRequirement`,
   :class:`OfflineConfig`;
@@ -75,11 +75,12 @@ from .fluid import (
     SimulationConfig,
     SimulationResult,
     SolveResult,
+    SpectralSolver,
 )
 from .farm import FarmReport, JobResult, JobSpec, SimulationFarm
 from .models import NNProjectionSolver
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # framework
@@ -96,6 +97,7 @@ __all__ = [
     "PCGSolver",
     "JacobiSolver",
     "MultigridSolver",
+    "SpectralSolver",
     "NNProjectionSolver",
     # execution farm
     "JobSpec",

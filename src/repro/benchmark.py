@@ -28,12 +28,20 @@ Benchmarks
     The same 8-job list executed serially in-process vs. on the
     :mod:`repro.farm` process pool; reports jobs/sec and steps/sec for
     both, which is the farm's headline scaling number.
+``perf_kernels``
+    The geometry-compiled kernel PCG backend vs. the matrix-free reference
+    backend on one fixed 128x128 MIC(0) solve (the paper's baseline-cost
+    workload), plus the DCT spectral direct solver on the obstacle-free
+    box.  The grid is fixed across scales so ``pcg_solve_seconds`` is
+    comparable between the committed default-scale baseline and the CI
+    smoke run; ``backends_identical`` certifies the bit-for-bit contract.
 
 Scales
 ------
-``ci`` runs in a few seconds and is wired into the test suite as a smoke
-test (marker ``bench``); ``default`` is the standard tracking run;
-``paper`` uses paper-sized grids.
+``smoke`` is the CI regression gate (seconds, small reps); ``ci`` runs in a
+few seconds and is wired into the test suite as a smoke test (marker
+``bench``); ``default`` is the standard tracking run; ``paper`` uses
+paper-sized grids.
 """
 
 from __future__ import annotations
@@ -50,7 +58,7 @@ __all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
 
 SCHEMA = "repro-bench/v1"
 #: tag of the BENCH_<tag>.json this PR emits
-DEFAULT_TAG = "pr2"
+DEFAULT_TAG = "pr3"
 
 
 @dataclass(frozen=True)
@@ -64,6 +72,7 @@ class BenchScale:
 
 
 SCALES: dict[str, BenchScale] = {
+    "smoke": BenchScale(grid=24, solve_reps=2, sim_steps=2, infer_reps=2),
     "ci": BenchScale(grid=32, solve_reps=3, sim_steps=3, infer_reps=4),
     "default": BenchScale(grid=64, solve_reps=5, sim_steps=8, infer_reps=10),
     "paper": BenchScale(grid=128, solve_reps=7, sim_steps=16, infer_reps=20),
@@ -253,6 +262,71 @@ def _bench_farm_throughput(scale: BenchScale, seed: int = 0, n_jobs: int = 8) ->
     }
 
 
+def _bench_perf_kernels(scale: BenchScale, seed: int = 0, grid: int = 128, tol: float = 1e-5) -> dict:
+    """Kernel vs. reference PCG backend, plus the spectral direct solve.
+
+    The grid is *fixed* at 128x128 for every scale (only the repeat count
+    varies) so the headline ``pcg_solve_seconds`` is directly comparable
+    across the committed baseline and CI smoke runs.
+    """
+    from repro.fluid import MACGrid2D, PCGSolver, SpectralSolver
+    from repro.metrics import NULL_METRICS
+
+    reps = max(2, scale.solve_reps)
+    solid, b = _poisson_problem(grid, seed)
+
+    timings: dict[str, float] = {}
+    results = {}
+    for backend in ("kernel", "reference"):
+        solver = PCGSolver(tol=tol, metrics=NULL_METRICS, backend=backend)
+        results[backend] = solver.solve(b, solid)  # prime the geometry caches
+        timings[backend] = min(
+            _time(lambda: solver.solve(b, solid)) for _ in range(reps)
+        )
+    kres, rres = results["kernel"], results["reference"]
+    identical = (
+        kres.iterations == rres.iterations
+        and kres.converged == rres.converged
+        and kres.residual_history == rres.residual_history
+        and bool(np.array_equal(kres.pressure, rres.pressure))
+    )
+
+    # spectral direct solve vs. kernel PCG on the obstacle-free closed box
+    box = MACGrid2D(grid, grid).solid.copy()
+    rng = np.random.default_rng(seed + 2)
+    bb = np.where(~box, rng.standard_normal(box.shape), 0.0)
+    spectral = SpectralSolver(tol=tol, metrics=NULL_METRICS)
+    box_pcg = PCGSolver(tol=tol, metrics=NULL_METRICS)
+    sres = spectral.solve(bb, box)
+    box_pcg.solve(bb, box)
+    spectral_seconds = min(_time(lambda: spectral.solve(bb, box)) for _ in range(reps))
+    box_pcg_seconds = min(_time(lambda: box_pcg.solve(bb, box)) for _ in range(reps))
+
+    return {
+        "name": "perf_kernels",
+        "params": {"grid": grid, "reps": reps, "seed": seed, "tol": tol},
+        "pcg_solve_seconds": timings["kernel"],
+        "reference_solve_seconds": timings["reference"],
+        "speedup": (
+            timings["reference"] / timings["kernel"]
+            if timings["kernel"] > 0
+            else float("inf")
+        ),
+        "iterations": kres.iterations,
+        "converged": kres.converged,
+        "backends_identical": identical,
+        "spectral_solve_seconds": spectral_seconds,
+        "spectral_box_pcg_seconds": box_pcg_seconds,
+        "spectral_speedup": (
+            box_pcg_seconds / spectral_seconds
+            if spectral_seconds > 0
+            else float("inf")
+        ),
+        "spectral_converged": sres.converged,
+        "spectral_iterations": sres.iterations,
+    }
+
+
 def run_bench(scale: str = "default", seed: int = 0) -> dict:
     """Run the whole suite at one scale and return the report dict."""
     if scale not in SCALES:
@@ -264,6 +338,7 @@ def run_bench(scale: str = "default", seed: int = 0) -> dict:
         _bench_simulation_step(s, seed),
         _bench_nn_inference(s, seed),
         _bench_farm_throughput(s, seed),
+        _bench_perf_kernels(s, seed),
     ]
     return {
         "schema": SCHEMA,

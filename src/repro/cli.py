@@ -61,7 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", parents=[problem, stepping], help="run one smoke-plume input problem"
     )
     sim.add_argument(
-        "--solver", choices=["pcg", "jacobi-pcg", "jacobi", "multigrid"], default="pcg"
+        "--solver",
+        choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral"],
+        default="pcg",
+    )
+    sim.add_argument(
+        "--backend", choices=["kernel", "reference"], default="kernel",
+        help="PCG execution backend: compiled geometry kernels or the "
+        "matrix-free reference path (identical results)",
     )
     sim.add_argument(
         "--warm-start", action="store_true",
@@ -101,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
     ben = sub.add_parser(
         "bench", help="run the performance suite and write BENCH_<tag>.json"
     )
-    ben.add_argument("--scale", choices=["ci", "default", "paper"], default="default")
+    ben.add_argument(
+        "--scale", choices=["smoke", "ci", "default", "paper"], default="default"
+    )
     ben.add_argument("--seed", type=int, default=0)
     ben.add_argument(
         "--output", type=str, default=None,
@@ -115,8 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     frm.add_argument("--jobs", type=int, default=8, help="number of jobs in the fleet")
     frm.add_argument(
-        "--solver", choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "nn"],
+        "--solver",
+        choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn"],
         default="pcg", help="pressure solver every job requests",
+    )
+    frm.add_argument(
+        "--solver-backend", choices=["kernel", "reference"], default=None,
+        help="PCG execution backend for pcg/jacobi-pcg jobs "
+        "(default: the solver's own default, kernel)",
     )
     frm.add_argument(
         "--backend", choices=["process", "batched", "serial"], default="process",
@@ -166,18 +181,31 @@ def _step_dict(rec) -> dict:
 
 def _cmd_simulate(args) -> int:
     from repro.data import InputProblem
-    from repro.fluid import FluidSimulator, JacobiSolver, MultigridSolver, PCGSolver
+    from repro.fluid import (
+        FluidSimulator,
+        JacobiSolver,
+        MultigridSolver,
+        PCGSolver,
+        SpectralSolver,
+    )
     from repro.metrics import MetricsRegistry
     from repro import viz
 
     metrics = MetricsRegistry()
     solver = {
-        "pcg": lambda: PCGSolver(warm_start=args.warm_start, metrics=metrics),
+        "pcg": lambda: PCGSolver(
+            warm_start=args.warm_start, metrics=metrics, backend=args.backend
+        ),
         "jacobi-pcg": lambda: PCGSolver(
-            preconditioner="jacobi", warm_start=args.warm_start, metrics=metrics
+            preconditioner="jacobi", warm_start=args.warm_start,
+            metrics=metrics, backend=args.backend,
         ),
         "jacobi": lambda: JacobiSolver(metrics=metrics),
         "multigrid": lambda: MultigridSolver(metrics=metrics),
+        "spectral": lambda: SpectralSolver(
+            metrics=metrics,
+            fallback=PCGSolver(metrics=metrics, backend=args.backend),
+        ),
     }[args.solver]()
     grid, source = InputProblem(args.grid, args.seed).materialize()
     sim = FluidSimulator(grid, solver, source, metrics=metrics)
@@ -194,6 +222,7 @@ def _cmd_simulate(args) -> int:
                         "seed": args.seed,
                         "steps": args.steps,
                         "solver": args.solver,
+                        "backend": args.backend,
                         "warm_start": args.warm_start,
                     },
                     "total_seconds": dt,
@@ -323,6 +352,9 @@ def _cmd_farm(args) -> int:
 
     problems = generate_problems(args.jobs, args.grid)
     fail_step = max(1, args.steps // 2)
+    solver_params = {}
+    if args.solver_backend is not None and args.solver in ("pcg", "jacobi-pcg"):
+        solver_params["backend"] = args.solver_backend
     specs = [
         JobSpec(
             job_id=f"job-{i:03d}",
@@ -330,6 +362,7 @@ def _cmd_farm(args) -> int:
             seed=p.seed + args.seed,
             steps=args.steps,
             solver=args.solver,
+            solver_params=solver_params,
             checkpoint_every=args.checkpoint_every,
             timeout_seconds=args.timeout,
             max_retries=args.retries,

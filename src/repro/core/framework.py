@@ -46,7 +46,7 @@ from .records import (
 )
 from .scheduler import AdaptiveController, AdaptiveStats
 from .search import SearchConfig, search_accurate_models
-from .selection import SelectedModel, select_runtime_models
+from .selection import SelectedModel, expected_total_time, select_runtime_models
 from .selector_mlp import SuccessRateMLP
 
 __all__ = ["UserRequirement", "OfflineConfig", "AdaptiveRunResult", "SmartFluidnet"]
@@ -270,11 +270,21 @@ class SmartFluidnet:
         )
         if not runtime:
             # fall back to the most accurate candidate so the runtime always
-            # has something to run (the restart path still guards quality)
+            # has something to run (the restart path still guards quality).
+            # Score it at the actual requirement — an infinite time budget
+            # must not leak into the MLP's t feature.
             best = min(candidates, key=lambda m: mean_q[m.name])
-            runtime = select_runtime_models(
-                [best], mean_t, calibrated, requirement.q, float("inf"), exact_seconds, 1
-            )
+            prob = calibrated.predict(best.spec, requirement.q, requirement.t)
+            runtime = [
+                SelectedModel(
+                    model=best,
+                    success_prob=prob,
+                    model_seconds=mean_t[best.name],
+                    expected_seconds=expected_total_time(
+                        prob, mean_t[best.name], exact_seconds
+                    ),
+                )
+            ]
         log(f"selected {len(runtime)} runtime models")
 
         # 8. KNN databases from small problems

@@ -59,9 +59,14 @@ def run_table1(artifacts: Artifacts | None = None) -> Table1Result:
     problems = generate_problems(scale.n_problems, scale.base_grid, split="eval")
     reference = ReferenceCache(scale.n_steps)
 
-    pcg_ms = float(
-        np.mean([reference.reference(p).solve_seconds for p in problems]) * 1000.0
+    # the paper's baseline cost is its standard MICCG(0) implementation —
+    # time the matrix-free reference backend, not the geometry-compiled
+    # kernels (the two are bitwise identical in output, so the quality
+    # reference itself still comes from the fast default)
+    pcg_stats = evaluate_solver(
+        lambda: PCGSolver(backend="reference"), problems, reference
     )
+    pcg_ms = float(np.mean([s.solve_seconds for s in pcg_stats]) * 1000.0)
     rows = [Table1Row("pcg", pcg_ms, None)]
     for name, model in (("tompson", art.tompson), ("yang", art.yang)):
         stats = evaluate_solver(lambda m=model: m.solver(passes=2), problems, reference)

@@ -20,7 +20,7 @@ from dataclasses import asdict, dataclass, field
 __all__ = ["JobSpec", "JobResult", "SOLVER_CHOICES"]
 
 #: solver identifiers a JobSpec may request
-SOLVER_CHOICES = ("pcg", "jacobi-pcg", "jacobi", "multigrid", "nn")
+SOLVER_CHOICES = ("pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn")
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.data import InputProblem
-from repro.fluid import FluidSimulator, JacobiSolver, MultigridSolver, PCGSolver
+from repro.fluid import (
+    FluidSimulator,
+    JacobiSolver,
+    MultigridSolver,
+    PCGSolver,
+    SpectralSolver,
+)
 from repro.metrics import MetricsRegistry
 
 from .checkpoint import load_checkpoint, save_checkpoint
@@ -72,6 +78,8 @@ def build_solver(spec: JobSpec, kind: str, metrics: MetricsRegistry):
         return JacobiSolver(metrics=metrics, **params)
     if kind == "multigrid":
         return MultigridSolver(metrics=metrics, **params)
+    if kind == "spectral":
+        return SpectralSolver(metrics=metrics, **params)
     if kind == "nn":
         from repro.models import NNProjectionSolver
 
@@ -170,9 +178,7 @@ def run_job(
                 resumed_from = sim.current_step
                 m.inc("farm/resumes")
 
-    divnorms = np.concatenate(
-        [sim._restored_divnorms, [r.divnorm for r in sim.records]]
-    )
+    divnorms = sim.full_divnorm_history
     return JobResult(
         job_id=spec.job_id,
         status=status,

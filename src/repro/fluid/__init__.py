@@ -10,7 +10,9 @@ from .grid import CellType, MACGrid2D
 from .operators import divergence, pressure_gradient_update, apply_laplacian
 from .laplacian import PoissonSystem, build_poisson_system, stencil_arrays, poisson_rhs
 from .solver_api import MaskKeyedCache
+from .kernels import GeometryKernels, MICTriangularFactor, spectral_eligible
 from .pcg import JacobiSolver, MIC0Preconditioner, PCGSolver, SolveResult, jacobi_solve
+from .spectral import SpectralSolver
 from .multigrid import MultigridSolver, build_hierarchy, vcycle
 from .advection import advect_scalar, advect_velocity, maccormack_scalar
 from .forces import add_buoyancy, add_gravity, add_vorticity_confinement
@@ -45,11 +47,15 @@ __all__ = [
     "stencil_arrays",
     "poisson_rhs",
     "MaskKeyedCache",
+    "GeometryKernels",
+    "MICTriangularFactor",
+    "spectral_eligible",
     "MIC0Preconditioner",
     "PCGSolver",
     "JacobiSolver",
     "SolveResult",
     "jacobi_solve",
+    "SpectralSolver",
     "MultigridSolver",
     "build_hierarchy",
     "vcycle",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
+from scipy.ndimage import label
 
 from .solver_api import MaskKeyedCache
 
@@ -48,12 +49,7 @@ def fluid_components(solid: np.ndarray) -> tuple[np.ndarray, int]:
     and solution, making this a hot path.
     """
 
-    def build():
-        from scipy.ndimage import label
-
-        return label(~solid)
-
-    return _components_cache.get(solid, build)
+    return _components_cache.get(solid, lambda: label(~solid))
 
 
 def remove_nullspace(field: np.ndarray, solid: np.ndarray) -> np.ndarray:

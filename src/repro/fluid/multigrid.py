@@ -18,6 +18,7 @@ obstacle-boundary modes, as the solver's tests document.
 from __future__ import annotations
 
 import numpy as np
+from scipy.ndimage import zoom
 
 from repro.metrics import MetricsRegistry, get_metrics
 
@@ -35,6 +36,7 @@ class _Level:
         self.solid = solid
         self.fluid = ~solid
         adiag, _, _ = stencil_arrays(solid)
+        self.adiag = adiag
         self.inv_diag = np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
         ny, nx = solid.shape
         ys, xs = np.mgrid[0:ny, 0:nx]
@@ -76,7 +78,7 @@ def _smooth(level: _Level, p: np.ndarray, b: np.ndarray, sweeps: int) -> np.ndar
     """Red-black Gauss-Seidel sweeps (each colour updated simultaneously)."""
     for _ in range(sweeps):
         for mask in (level.red, level.black):
-            r = b - apply_laplacian(p, level.solid)
+            r = b - apply_laplacian(p, level.solid, deg=level.adiag)
             p = p + np.where(mask, r * level.inv_diag, 0.0)
     return p
 
@@ -96,8 +98,6 @@ def _restrict(r: np.ndarray, coarse: _Level) -> np.ndarray:
 
 def _prolong(ec: np.ndarray, fine: _Level) -> np.ndarray:
     """Bilinear (cell-centred) prolongation of the coarse-interior correction."""
-    from scipy.ndimage import zoom
-
     out = np.zeros(fine.solid.shape)
     out[1:-1, 1:-1] = zoom(ec[1:-1, 1:-1], 2, order=1, mode="nearest", grid_mode=True)
     return np.where(fine.fluid, out, 0.0)
@@ -119,7 +119,7 @@ def vcycle(
     if idx == len(levels) - 1:
         return _smooth(level, p, b, sweeps=coarse_sweeps)
     p = _smooth(level, p, b, pre_sweeps)
-    r = np.where(level.fluid, b - apply_laplacian(p, level.solid), 0.0)
+    r = np.where(level.fluid, b - apply_laplacian(p, level.solid, deg=level.adiag), 0.0)
     rc = _restrict(r, levels[idx + 1])
     ec = vcycle(levels, rc, None, idx + 1, pre_sweeps, post_sweeps, coarse_sweeps)
     p = p + _prolong(ec, level)
@@ -179,7 +179,7 @@ class MultigridSolver(PressureSolver):
         converged = False
         for it in range(1, self.max_cycles + 1):
             p = vcycle(levels, b, p)
-            rnorm = float(np.abs((b - apply_laplacian(p, solid))[fluid]).max())
+            rnorm = float(np.abs((b - apply_laplacian(p, solid, deg=levels[0].adiag))[fluid]).max())
             history.append(rnorm)
             if rnorm <= tol_abs:
                 converged = True

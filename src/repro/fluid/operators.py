@@ -57,7 +57,7 @@ def pressure_gradient_update(grid: MACGrid2D, p: np.ndarray, dt: float, rho: flo
     grid.enforce_solid_boundaries()
 
 
-def apply_laplacian(p: np.ndarray, solid: np.ndarray) -> np.ndarray:
+def apply_laplacian(p: np.ndarray, solid: np.ndarray, deg: np.ndarray | None = None) -> np.ndarray:
     """Matrix-free application of the 5-point Poisson operator ``A @ p``.
 
     ``A`` is the (positive semi-definite) operator assembled by
@@ -65,33 +65,46 @@ def apply_laplacian(p: np.ndarray, solid: np.ndarray) -> np.ndarray:
     the sum runs over fluid neighbours ``n`` of fluid cell ``c`` and
     ``deg(c)`` counts non-solid neighbours.  Solid rows are identically zero.
 
+    ``deg`` optionally supplies the precomputed degree field (the stencil
+    diagonal, e.g. ``GeometryKernels.degree`` or ``stencil_arrays(solid)[0]``)
+    — it depends only on the geometry, so callers solving repeatedly on one
+    mask can skip recomputing it.  The result is bitwise identical either
+    way: a supplied diagonal differs from the internal accumulation only on
+    solid cells, where it multiplies an exact zero.
+
     This is used by the matrix-free PCG path, the multigrid smoother and the
     DivNorm loss gradient.
     """
     fluid = ~solid
     pf = np.where(fluid, p, 0.0)
-    ny, nx = p.shape
     out = np.zeros_like(p)
 
-    deg = np.zeros_like(p)
+    compute_deg = deg is None
+    if compute_deg:
+        deg = np.zeros_like(p)
     # neighbour contributions (zero-padded at the domain edge; the border
     # wall means edge cells are solid anyway)
     for axis, shift in ((0, 1), (0, -1), (1, 1), (1, -1)):
-        nb_fluid = np.zeros_like(fluid)
         nb_val = np.zeros_like(p)
         if axis == 0 and shift == 1:
-            nb_fluid[:-1, :] = fluid[1:, :]
             nb_val[:-1, :] = pf[1:, :]
         elif axis == 0 and shift == -1:
-            nb_fluid[1:, :] = fluid[:-1, :]
             nb_val[1:, :] = pf[:-1, :]
         elif axis == 1 and shift == 1:
-            nb_fluid[:, :-1] = fluid[:, 1:]
             nb_val[:, :-1] = pf[:, 1:]
         else:
-            nb_fluid[:, 1:] = fluid[:, :-1]
             nb_val[:, 1:] = pf[:, :-1]
-        deg += nb_fluid
+        if compute_deg:
+            nb_fluid = np.zeros_like(fluid)
+            if axis == 0 and shift == 1:
+                nb_fluid[:-1, :] = fluid[1:, :]
+            elif axis == 0 and shift == -1:
+                nb_fluid[1:, :] = fluid[:-1, :]
+            elif axis == 1 and shift == 1:
+                nb_fluid[:, :-1] = fluid[:, 1:]
+            else:
+                nb_fluid[:, 1:] = fluid[:, :-1]
+            deg += nb_fluid
         out -= nb_val
     out += deg * pf
     out[solid] = 0.0

@@ -4,19 +4,31 @@ This is the exact solver the paper's neural networks approximate (Algorithm 1
 lines 7-17): conjugate gradient on the 5-point Poisson system, preconditioned
 with the Modified Incomplete Cholesky level-0 factorisation ("MICCG(0)").
 
-The triangular solves of the preconditioner are sequential recurrences; we
-vectorise them with a wavefront sweep over anti-diagonals (cells with equal
-``x + y`` are mutually independent), which keeps the solver pure NumPy while
-avoiding a per-cell Python loop.
+Two backends share one mathematical definition:
+
+* ``backend="kernel"`` (default) runs the CG loop on flat fluid-cell vectors
+  using the per-geometry :class:`~repro.fluid.kernels.GeometryKernels`
+  artifact: CSR matvec for ``A·s``, SuperLU triangular solves for the
+  MIC(0) sweeps, allocation-free reductions.
+* ``backend="reference"`` is the original matrix-free grid path: the
+  triangular solves of the preconditioner are sequential recurrences,
+  vectorised with a wavefront sweep over anti-diagonals (cells with equal
+  ``x + y`` are mutually independent).
+
+The two backends produce bit-for-bit identical ``SolveResult``s — same
+iterates, same residual history, same pressure — because the kernel path's
+C-level loops accumulate in exactly the order of the grid recurrences (see
+:mod:`repro.fluid.kernels`); the equivalence suite asserts this.
 
 Runtime caching: :class:`PCGSolver` keeps the MIC(0) factorisation (which
-embeds the wavefront schedule) in a :class:`~repro.fluid.solver_api.MaskKeyedCache`
-keyed on the solid mask, so consecutive solves on the same geometry — the
-common case inside a simulation — skip the setup entirely.  With
-``warm_start=True`` the solver additionally seeds CG with the previous
-step's pressure, which typically saves iterations because consecutive
-pressure fields are strongly correlated; it is off by default so results on
-identical inputs are bit-for-bit reproducible regardless of solver history.
+embeds the wavefront schedule) and the compiled geometry kernels in
+:class:`~repro.fluid.solver_api.MaskKeyedCache`\\ s keyed on the solid mask,
+so consecutive solves on the same geometry — the common case inside a
+simulation — skip the setup entirely.  With ``warm_start=True`` the solver
+additionally seeds CG with the previous step's pressure, which typically
+saves iterations because consecutive pressure fields are strongly
+correlated; it is off by default so results on identical inputs are
+bit-for-bit reproducible regardless of solver history.
 """
 
 from __future__ import annotations
@@ -26,6 +38,7 @@ import numpy as np
 from repro.metrics import MetricsRegistry, get_metrics
 
 from .operators import apply_laplacian
+from .kernels import GeometryKernels
 from .laplacian import remove_nullspace, stencil_arrays
 from .solver_api import MaskKeyedCache, PressureSolver, SolveResult
 
@@ -59,6 +72,19 @@ class MIC0Preconditioner:
     Follows Bridson's formulation (tuning constant ``tau = 0.97``, safety
     ``sigma = 0.25``).  Requires the domain border to be solid, which the
     simulator guarantees (border wall).
+
+    Besides ``precon`` (the inverse diagonal of the factor), the constructor
+    precomputes four coefficient grids that cast the two triangular sweeps as
+    *unit-diagonal* recurrences on ``t = q / precon``:
+
+        forward:   ``t_c = (r_c - cb_below · t_below) - cl_left · t_left``
+        backward:  ``t_c = (q_c - cr_c · t_right) - ca_c · t_above``
+
+    These grids are shared with the sparse
+    :class:`~repro.fluid.kernels.MICTriangularFactor`, which is what makes
+    the kernel backend bitwise-equal to :meth:`apply`: both subtract the
+    smaller-flat-index contribution first (below before left, right before
+    above), matching SuperLU's ascending-column accumulation.
     """
 
     def __init__(self, solid: np.ndarray, tau: float = 0.97, sigma: float = 0.25):
@@ -69,6 +95,13 @@ class MIC0Preconditioner:
         self.adiag, self.aplusx, self.aplusy = stencil_arrays(solid)
         self._fronts = _wavefronts(self.fluid)
         self.precon = self._build(tau, sigma)
+        precon = self.precon
+        self._cl = self.aplusx * precon * precon
+        self._cb = self.aplusy * precon * precon
+        self._cr = np.zeros_like(precon)
+        self._cr[:, :-1] = self.aplusx[:, :-1] * precon[:, :-1] * precon[:, 1:]
+        self._ca = np.zeros_like(precon)
+        self._ca[:-1, :] = self.aplusy[:-1, :] * precon[:-1, :] * precon[1:, :]
 
     def _build(self, tau: float, sigma: float) -> np.ndarray:
         adiag, apx, apy = self.adiag, self.aplusx, self.aplusy
@@ -95,24 +128,19 @@ class MIC0Preconditioner:
 
     def apply(self, r: np.ndarray) -> np.ndarray:
         """Apply the preconditioner: solve ``(L L^T) z = r`` approximately."""
-        precon, apx, apy = self.precon, self.aplusx, self.aplusy
-        q = np.zeros_like(r)
-        for ys, xs in self._fronts:  # forward: L q = r
-            t = (
-                r[ys, xs]
-                - apx[ys, xs - 1] * precon[ys, xs - 1] * q[ys, xs - 1]
-                - apy[ys - 1, xs] * precon[ys - 1, xs] * q[ys - 1, xs]
-            )
-            q[ys, xs] = t * precon[ys, xs]
-        z = np.zeros_like(r)
-        for ys, xs in reversed(self._fronts):  # backward: L^T z = q
-            t = (
-                q[ys, xs]
-                - apx[ys, xs] * precon[ys, xs] * z[ys, xs + 1]
-                - apy[ys, xs] * precon[ys, xs] * z[ys + 1, xs]
-            )
-            z[ys, xs] = t * precon[ys, xs]
-        return z
+        precon, cl, cb, cr, ca = self.precon, self._cl, self._cb, self._cr, self._ca
+        t = np.zeros_like(r)
+        for ys, xs in self._fronts:  # forward: unit-lower solve
+            t[ys, xs] = (r[ys, xs] - cb[ys - 1, xs] * t[ys - 1, xs]) - cl[
+                ys, xs - 1
+            ] * t[ys, xs - 1]
+        q = t * precon
+        t = np.zeros_like(r)
+        for ys, xs in reversed(self._fronts):  # backward: unit-upper solve
+            t[ys, xs] = (q[ys, xs] - cr[ys, xs] * t[ys, xs + 1]) - ca[ys, xs] * t[
+                ys + 1, xs
+            ]
+        return t * precon
 
 
 class PCGSolver(PressureSolver):
@@ -133,6 +161,11 @@ class PCGSolver(PressureSolver):
     metrics:
         Registry receiving solver counters/timers; defaults to the
         process-wide registry.
+    backend:
+        ``"kernel"`` (default) runs the flat-vector CSR/SuperLU loop;
+        ``"reference"`` the original matrix-free grid loop.  Both return
+        identical bits; reference exists as the independently-testable
+        ground truth.
     """
 
     name = "pcg"
@@ -144,23 +177,29 @@ class PCGSolver(PressureSolver):
         preconditioner: str = "mic0",
         warm_start: bool = False,
         metrics: MetricsRegistry | None = None,
+        backend: str = "kernel",
     ):
         if preconditioner not in ("mic0", "jacobi", "none"):
             raise ValueError(f"unknown preconditioner {preconditioner!r}")
+        if backend not in ("kernel", "reference"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.tol = tol
         self.max_iterations = max_iterations
         self.preconditioner = preconditioner
         self.warm_start = warm_start
+        self.backend = backend
         self._metrics = metrics
         self._mic_cache = MaskKeyedCache("mic0")
         self._jacobi_cache = MaskKeyedCache("jacobi_diag")
+        self._kernels_cache = MaskKeyedCache("kernels")
         self._prev_pressure: np.ndarray | None = None
         self._prev_key: tuple | None = None
 
     def reset(self) -> None:
-        """Drop the cached factorisation and the warm-start seed."""
+        """Drop the cached factorisation, kernels and the warm-start seed."""
         self._mic_cache.clear()
         self._jacobi_cache.clear()
+        self._kernels_cache.clear()
         self._prev_pressure = None
         self._prev_key = None
 
@@ -169,24 +208,106 @@ class PCGSolver(PressureSolver):
             mic = self._mic_cache.get(solid, lambda: MIC0Preconditioner(solid), metrics)
             return mic.apply
         if self.preconditioner == "jacobi":
-            def build() -> np.ndarray:
-                adiag, _, _ = stencil_arrays(solid)
-                return np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
-
-            inv = self._jacobi_cache.get(solid, build, metrics)
+            inv = self._jacobi_cache.get(
+                solid, lambda: self._jacobi_inverse(solid), metrics
+            )
             return lambda r: r * inv
         return lambda r: r
+
+    @staticmethod
+    def _jacobi_inverse(solid: np.ndarray) -> np.ndarray:
+        adiag, _, _ = stencil_arrays(solid)
+        return np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
 
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Solve ``A p = b`` on fluid cells; returns mean-zero pressure."""
         metrics = self._metrics if self._metrics is not None else get_metrics()
         with metrics.timer(f"solver/{self.name}/solve"):
-            result = self._solve(b, solid, metrics)
+            if self.backend == "kernel":
+                result = self._solve_kernel(b, solid, metrics)
+            else:
+                result = self._solve_reference(b, solid, metrics)
         metrics.inc(f"solver/{self.name}/solves")
         metrics.inc(f"solver/{self.name}/iterations", result.iterations)
         return result
 
+    # kept under its historical name for callers that dispatched on it
     def _solve(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
+        return self._solve_reference(b, solid, metrics)
+
+    def _solve_kernel(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
+        """Flat fluid-vector CG: CSR matvec + SuperLU triangular sweeps."""
+        kern: GeometryKernels = self._kernels_cache.get(
+            solid, lambda: GeometryKernels(solid), metrics
+        )
+        nf = kern.n
+        if self.preconditioner == "mic0":
+            mic = self._mic_cache.get(solid, lambda: MIC0Preconditioner(solid), metrics)
+            apply_m = kern.mic_factor(mic).apply
+        elif self.preconditioner == "jacobi":
+            inv = self._jacobi_cache.get(
+                solid, lambda: self._jacobi_inverse(solid), metrics
+            )
+            inv_flat = kern.gather(inv)
+            apply_m = lambda r: r * inv_flat  # noqa: E731
+        else:
+            apply_m = lambda r: r  # noqa: E731
+
+        # compatibility projection: remove the per-component null space
+        b = remove_nullspace(b, solid)
+
+        geo_key = MaskKeyedCache.key_of(solid)
+        bf = kern.gather(b)
+        pf = np.zeros(nf)
+        rf = bf.copy()
+        bnorm = float(np.abs(bf).max()) if nf else 0.0
+        history = [bnorm]
+        if bnorm < 1e-300:
+            return SolveResult(np.zeros_like(b), 0, True, 0.0, 0.0, history)
+        tol_abs = self.tol * bnorm
+
+        if self.warm_start and self._prev_pressure is not None and self._prev_key == geo_key:
+            pf = kern.gather(self._prev_pressure)
+            rf = bf - kern.matvec(pf)
+            metrics.inc(f"solver/{self.name}/warm_starts")
+
+        rnorm = float(np.abs(rf).max())
+        flops = 0.0
+        it = 0
+        converged = rnorm <= tol_abs  # a warm start may already satisfy tol
+        if not converged:
+            zf = apply_m(rf)
+            sf = zf.copy()
+            sigma = float((zf * rf).sum())
+            for it in range(1, self.max_iterations + 1):
+                wf = kern.matvec(sf)
+                denom = float((wf * sf).sum())
+                if abs(denom) < 1e-300:
+                    break
+                alpha = sigma / denom
+                pf += alpha * sf
+                rf -= alpha * wf
+                flops += 40.0 * nf
+                rnorm = float(np.abs(rf).max())
+                history.append(rnorm)
+                if rnorm <= tol_abs:
+                    converged = True
+                    break
+                zf = apply_m(rf)
+                sigma_new = float((zf * rf).sum())
+                beta = sigma_new / sigma
+                sf = zf + beta * sf
+                sigma = sigma_new
+
+        p = remove_nullspace(kern.scatter(pf), solid)
+        if self.warm_start:
+            self._prev_pressure = p.copy()
+            self._prev_key = geo_key
+        rnorm = float(np.abs(rf).max())
+        return SolveResult(p, it, converged, rnorm, flops, history)
+
+    def _solve_reference(self, b: np.ndarray, solid: np.ndarray, metrics: MetricsRegistry) -> SolveResult:
+        """Matrix-free grid-level CG (the tested ground-truth path)."""
         fluid = ~solid
         nf = int(fluid.sum())
         apply_m = self._precondition(solid, metrics)
@@ -249,8 +370,10 @@ class JacobiSolver(PressureSolver):
     """Weighted-Jacobi iteration on the Poisson system (cheap baseline).
 
     Class-form of the historical :func:`jacobi_solve` helper, conforming to
-    the :class:`~repro.fluid.solver_api.PressureSolver` protocol and caching
-    the inverse stencil diagonal per geometry.
+    the :class:`~repro.fluid.solver_api.PressureSolver` protocol.  Sweeps run
+    on flat fluid vectors through the cached
+    :class:`~repro.fluid.kernels.GeometryKernels` (CSR matvec + the compiled
+    degree field), with all geometry invariants hoisted out of the loop.
     """
 
     name = "jacobi"
@@ -266,39 +389,38 @@ class JacobiSolver(PressureSolver):
         self.tol = tol
         self.omega = omega
         self._metrics = metrics
-        self._diag_cache = MaskKeyedCache("jacobi_diag")
+        self._kernels_cache = MaskKeyedCache("kernels")
 
     def reset(self) -> None:
-        """Drop the cached inverse diagonal."""
-        self._diag_cache.clear()
+        """Drop the cached geometry kernels."""
+        self._kernels_cache.clear()
 
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Run (damped) Jacobi sweeps; converged only if ``tol`` was hit."""
         metrics = self._metrics if self._metrics is not None else get_metrics()
-        fluid = ~solid
-
-        def build() -> np.ndarray:
-            adiag, _, _ = stencil_arrays(solid)
-            return np.where(adiag > 0, 1.0 / np.maximum(adiag, 1e-30), 0.0)
-
         with metrics.timer(f"solver/{self.name}/solve"):
-            inv = self._diag_cache.get(solid, build, metrics)
-            b = np.where(fluid, b, 0.0)
-            p = np.zeros_like(b)
+            kern: GeometryKernels = self._kernels_cache.get(
+                solid, lambda: GeometryKernels(solid), metrics
+            )
+            nf = kern.n
+            bf = kern.gather(b)
+            winv = self.omega * kern.inv_degree
+            pf = np.zeros(nf)
             it = 0
-            rnorm = float(np.abs(b[fluid]).max()) if fluid.any() else 0.0
+            rnorm = float(np.abs(bf).max()) if nf else 0.0
             for it in range(1, self.iterations + 1):
-                r = b - apply_laplacian(p, solid)
-                rnorm = float(np.abs(r[fluid]).max()) if fluid.any() else 0.0
+                rf = bf - kern.matvec(pf)
+                rnorm = float(np.abs(rf).max()) if nf else 0.0
                 if self.tol and rnorm <= self.tol:
                     break
-                p = p + self.omega * inv * r
-            if fluid.any():
-                p = np.where(fluid, p - p[fluid].mean(), 0.0)
+                pf = pf + winv * rf
+            if nf:
+                pf = pf - pf.mean()
+            p = kern.scatter(pf)
         metrics.inc(f"solver/{self.name}/solves")
         metrics.inc(f"solver/{self.name}/iterations", it)
         return SolveResult(
-            p, it, bool(self.tol and rnorm <= self.tol), rnorm, 12.0 * it * float(fluid.sum())
+            p, it, bool(self.tol and rnorm <= self.tol), rnorm, 12.0 * it * float(nf)
         )
 
 

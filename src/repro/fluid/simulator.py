@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+from scipy.ndimage import distance_transform_edt
 
 from repro.metrics import MetricsRegistry, get_metrics
 
@@ -69,11 +70,22 @@ class SimulationResult:
     records: list[StepRecord]
     total_seconds: float
     restarts: int = 0
+    #: DivNorm of steps executed before a checkpoint restore (empty if none)
+    restored_divnorms: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
     @property
     def divnorm_history(self) -> np.ndarray:
-        """DivNorm of every step, in order."""
+        """DivNorm of every step *in this run segment*, in order.
+
+        After a checkpoint restore this covers only post-restore steps; use
+        :attr:`full_divnorm_history` for the whole trajectory.
+        """
         return np.array([r.divnorm for r in self.records])
+
+    @property
+    def full_divnorm_history(self) -> np.ndarray:
+        """DivNorm of the whole trajectory, pre-restore prefix included."""
+        return np.concatenate([np.asarray(self.restored_divnorms, dtype=np.float64), self.divnorm_history])
 
     @property
     def cumdivnorm_history(self) -> np.ndarray:
@@ -97,8 +109,6 @@ def divnorm_weights(solid: np.ndarray, k: float = 3.0) -> np.ndarray:
     ``d_i`` is 0 in solid cells and the Euclidean distance to the nearest
     solid cell in fluid cells; grid boundaries count as solid (border wall).
     """
-    from scipy.ndimage import distance_transform_edt
-
     dist = distance_transform_edt(~solid)
     return np.maximum(1.0, k - dist)
 
@@ -180,12 +190,25 @@ class FluidSimulator:
             density=self.grid.density.copy(),
             records=list(self.records),
             total_seconds=time.perf_counter() - t0,
+            restored_divnorms=self._restored_divnorms.copy(),
         )
 
     @property
     def current_step(self) -> int:
         """Index of the next step to execute (= steps completed so far)."""
         return self._step
+
+    @property
+    def full_divnorm_history(self) -> np.ndarray:
+        """DivNorm of every step executed so far, across checkpoint restores.
+
+        :attr:`records` (and the per-run ``divnorm_history``) cover only the
+        current segment — :meth:`load_state` resets them; this property
+        prepends the restored prefix so trajectory-level diagnostics never
+        silently lose the pre-restore steps.
+        """
+        current = np.array([r.divnorm for r in self.records], dtype=np.float64)
+        return np.concatenate([self._restored_divnorms, current])
 
     # ------------------------------------------------------------------
     # checkpoint / restore

@@ -45,16 +45,25 @@ class SolveResult:
 
 
 class MaskKeyedCache:
-    """Single-entry cache for per-geometry artefacts, keyed on a solid mask.
+    """Bounded cache for per-geometry artefacts, keyed on a solid mask.
 
     Pressure solves within one simulation share a geometry step after step,
-    so a one-deep cache captures virtually all reuse while staying O(1) in
-    memory.  Hits and misses are counted as ``cache/<name>/hit|miss`` in the
-    supplied metrics registry.
+    so the default one-deep cache captures virtually all reuse while staying
+    O(1) in memory.  Callers that interleave several geometries — e.g. the
+    batched NN solver serving a whole farm — pass ``capacity > 1`` for an
+    LRU-evicting multi-entry cache.  Hits and misses are counted as
+    ``cache/<name>/hit|miss`` in the supplied metrics registry.
+
+    ``_key``/``_value`` always reflect the most recently *used* entry (kept
+    for capacity-1 back-compat: tests and diagnostics peek at them).
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.name = name
+        self.capacity = capacity
+        self._entries: dict[tuple, Any] = {}
         self._key: tuple | None = None
         self._value: Any = None
 
@@ -72,16 +81,22 @@ class MaskKeyedCache:
         """Return the cached artefact for ``solid``, building it on miss."""
         m = metrics if metrics is not None else get_metrics()
         key = self.key_of(solid)
-        if self._key != key:
-            m.inc(f"cache/{self.name}/miss")
-            self._value = build()
-            self._key = key
-        else:
+        if key in self._entries:
             m.inc(f"cache/{self.name}/hit")
-        return self._value
+            value = self._entries.pop(key)  # re-insert: most recently used
+        else:
+            m.inc(f"cache/{self.name}/miss")
+            value = build()
+            while len(self._entries) >= self.capacity:
+                self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+        self._key = key
+        self._value = value
+        return value
 
     def clear(self) -> None:
-        """Drop the cached entry."""
+        """Drop all cached entries."""
+        self._entries.clear()
         self._key = None
         self._value = None
 

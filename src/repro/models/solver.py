@@ -38,7 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.fluid.operators import apply_laplacian
+from repro.fluid.kernels import GeometryKernels
 from repro.fluid.solver_api import MaskKeyedCache, PressureSolver, SolveResult
 from repro.metrics import MetricsRegistry, get_metrics
 from repro.nn import Layer, Network, analyze_network
@@ -63,11 +63,14 @@ class NNProjectionSolver(PressureSolver):
         self.passes = passes
         self._metrics = metrics
         self._geo_cache = MaskKeyedCache("nn_geometry")
+        # multi-entry: batched farm solves interleave several geometries
+        self._kernels_cache = MaskKeyedCache("kernels", capacity=16)
         self._x: np.ndarray | None = None  # reused (N, 2, H, W) input workspace
 
     def reset(self) -> None:
         """Drop the cached geometry channel and all workspace buffers."""
         self._geo_cache.clear()
+        self._kernels_cache.clear()
         self._x = None
         stack = [self.model]
         while stack:
@@ -150,6 +153,12 @@ class NNProjectionSolver(PressureSolver):
         B = [remove_nullspace(b, s) if nf else np.zeros_like(b) for b, s, nf in zip(bs, solids, nfs)]
         P = [np.zeros_like(b) for b in bs]
         R = list(B)
+        # defect-correction residuals run through the compiled CSR Laplacian
+        # (bitwise equal to apply_laplacian, see repro.fluid.kernels)
+        kerns = [
+            self._kernels_cache.get(s, lambda s=s: GeometryKernels(s), metrics)
+            for s in solids
+        ]
         done = [0] * n
         for _ in range(self.passes):
             sigmas = [
@@ -167,9 +176,9 @@ class NNProjectionSolver(PressureSolver):
             for i in active:
                 dp = out[i, 0] * sigmas[i]
                 P[i] = P[i] + np.where(fluids[i], dp, 0.0)
-                R[i] = remove_nullspace(
-                    B[i] - apply_laplacian(P[i], solids[i]), solids[i]
-                )
+                kern = kerns[i]
+                lap = kern.scatter(kern.matvec(kern.gather(P[i])))
+                R[i] = remove_nullspace(B[i] - lap, solids[i])
                 done[i] += 1
 
         results = []

@@ -98,4 +98,4 @@ class TestRunJob:
         from repro.farm import build_solver
 
         with pytest.raises(ValueError, match="unknown solver kind"):
-            build_solver(spec(), "spectral", MetricsRegistry())
+            build_solver(spec(), "amg", MetricsRegistry())

@@ -113,6 +113,30 @@ class TestFluidSimulator:
         c = res.cumdivnorm_history
         assert (np.diff(c) >= -1e-12).all()
 
+    def test_full_divnorm_history_fresh_run(self):
+        sim = self.make_sim()
+        res = sim.run(4)
+        # no restore happened: full history == this run's history, on both
+        # the simulator and the result object
+        np.testing.assert_array_equal(sim.full_divnorm_history, res.divnorm_history)
+        np.testing.assert_array_equal(res.full_divnorm_history, res.divnorm_history)
+        assert res.restored_divnorms.shape == (0,)
+
+    def test_full_divnorm_history_spans_restore(self):
+        donor = self.make_sim(seed=2)
+        donor.run(3)
+        state = donor.save_state()
+        full_before = [r.divnorm for r in donor.records]
+
+        resumed = self.make_sim(seed=2)
+        resumed.load_state(state)
+        res = resumed.run(2)
+        assert res.divnorm_history.shape == (2,)
+        assert res.restored_divnorms.shape == (3,)
+        expected = np.concatenate([full_before, res.divnorm_history])
+        np.testing.assert_array_equal(resumed.full_divnorm_history, expected)
+        np.testing.assert_array_equal(res.full_divnorm_history, expected)
+
     def test_controller_invoked_every_step(self):
         calls = []
         g, s = make_smoke_plume(24, 24, rng=0)

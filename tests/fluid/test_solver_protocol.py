@@ -6,6 +6,7 @@ import pytest
 from repro.fluid import (
     JacobiSolver,
     MACGrid2D,
+    MaskKeyedCache,
     MIC0Preconditioner,
     MultigridSolver,
     PCGSolver,
@@ -149,6 +150,65 @@ class TestCacheCorrectness:
         assert solver._x is None
         r3 = solver.solve(b, solid)
         np.testing.assert_array_equal(r1.pressure, r3.pressure)
+
+
+class TestMaskKeyedCache:
+    def masks(self, count, n=8):
+        out = []
+        for i in range(count):
+            m = MACGrid2D(n, n).solid.copy()
+            m[1 + i % (n - 2), 1] = True
+            out.append(m)
+        return out
+
+    def test_capacity_one_evicts_previous_geometry(self):
+        cache = MaskKeyedCache("t")
+        a, b = self.masks(2)
+        metrics = MetricsRegistry()
+        cache.get(a, lambda: "A", metrics)
+        cache.get(b, lambda: "B", metrics)
+        assert cache.get(a, lambda: "A2", metrics) == "A2"  # a was evicted
+        assert metrics.to_dict()["counters"]["cache/t/miss"] == 3
+
+    def test_multi_entry_capacity_retains_all(self):
+        cache = MaskKeyedCache("t", capacity=4)
+        metrics = MetricsRegistry()
+        for i, m in enumerate(self.masks(4)):
+            cache.get(m, lambda i=i: i, metrics)
+        for i, m in enumerate(self.masks(4)):
+            assert cache.get(m, lambda: "rebuilt", metrics) == i
+        counters = metrics.to_dict()["counters"]
+        assert counters["cache/t/miss"] == 4
+        assert counters["cache/t/hit"] == 4
+
+    def test_lru_eviction_order(self):
+        cache = MaskKeyedCache("t", capacity=2)
+        a, b, c = self.masks(3)
+        cache.get(a, lambda: "A")
+        cache.get(b, lambda: "B")
+        cache.get(a, lambda: "never")  # touch a: b is now least recent
+        cache.get(c, lambda: "C")  # evicts b
+        metrics = MetricsRegistry()
+        cache.get(a, lambda: "rebuilt-a", metrics)
+        cache.get(b, lambda: "rebuilt-b", metrics)
+        counters = metrics.to_dict()["counters"]
+        assert counters["cache/t/hit"] == 1  # a survived
+        assert counters["cache/t/miss"] == 1  # b did not
+
+    def test_value_tracks_most_recent(self):
+        cache = MaskKeyedCache("t", capacity=2)
+        a, b = self.masks(2)
+        cache.get(a, lambda: "A")
+        cache.get(b, lambda: "B")
+        assert cache._value == "B"
+        cache.get(a, lambda: "never")
+        assert cache._value == "A"
+        cache.clear()
+        assert cache._value is None
+
+    def test_capacity_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            MaskKeyedCache("t", capacity=0)
 
 
 class TestWarmStart:

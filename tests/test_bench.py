@@ -15,6 +15,7 @@ EXPECTED_BENCHMARKS = {
     "simulation_step",
     "nn_inference",
     "farm_throughput",
+    "perf_kernels",
 }
 
 
@@ -68,6 +69,17 @@ class TestRunBench:
         assert farm["serial_jobs_per_second"] > 0
         assert farm["farm_jobs_per_second"] > 0
         assert farm["speedup"] > 0
+
+    def test_perf_kernels_backends_identical(self, ci_report):
+        perf = next(b for b in ci_report["benchmarks"] if b["name"] == "perf_kernels")
+        assert perf["converged"]
+        assert perf["backends_identical"]
+        assert perf["spectral_converged"]
+        assert perf["pcg_solve_seconds"] > 0
+        assert perf["reference_solve_seconds"] > 0
+        # the compiled kernel backend must beat the matrix-free reference;
+        # 2x is a loose floor (the tracked BENCH_pr3.json shows much more)
+        assert perf["speedup"] > 2.0
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
