@@ -80,7 +80,7 @@ from .fluid import (
 from .farm import FarmReport, JobResult, JobSpec, SimulationFarm
 from .models import NNProjectionSolver
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # framework

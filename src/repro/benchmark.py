@@ -22,8 +22,14 @@ Benchmarks
     End-to-end simulator steps with the exact solver, with the full
     per-phase metrics profile attached.
 ``nn_inference``
-    Repeated CNN inference on a fixed input: first call (buffers
-    allocated) vs. steady state (im2col workspaces reused).
+    The compiled :class:`repro.nn.InferencePlan` vs. the legacy
+    layer-by-layer forward on one fixed 128x128 input (the paper's
+    baseline-cost workload; grid fixed across scales like
+    ``perf_kernels``).  Reports the fp64 plan (bitwise-identical contract,
+    certified by ``fp64_bitwise_identical``) and the fp32 shift-and-GEMM
+    plan, whose ``fp32_speedup`` over the legacy forward is the headline
+    number and whose workspace-reuse counter certifies zero steady-state
+    allocations.
 ``farm_throughput``
     The same 8-job list executed serially in-process vs. on the
     :mod:`repro.farm` process pool; reports jobs/sec and steps/sec for
@@ -58,7 +64,7 @@ __all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
 
 SCHEMA = "repro-bench/v1"
 #: tag of the BENCH_<tag>.json this PR emits
-DEFAULT_TAG = "pr3"
+DEFAULT_TAG = "pr4"
 
 
 @dataclass(frozen=True)
@@ -183,28 +189,45 @@ def _bench_simulation_step(scale: BenchScale, seed: int = 0) -> dict:
     }
 
 
-def _bench_nn_inference(scale: BenchScale, seed: int = 0) -> dict:
-    """CNN inference: first call (allocating) vs. steady state (reused)."""
-    from repro.nn import Conv2d, Network, ReLU
+def _bench_nn_inference(scale: BenchScale, seed: int = 0, grid: int = 128) -> dict:
+    """Compiled inference plans vs. the legacy forward at a pinned 128x128.
 
-    net = Network(
-        [Conv2d(2, 8, rng=seed), ReLU(), Conv2d(8, 8, rng=seed + 1), ReLU(), Conv2d(8, 1, rng=seed + 2)]
-    )
-    x = np.random.default_rng(seed).standard_normal((1, 2, scale.grid, scale.grid))
-    first = _time(lambda: net.forward(x, training=False))
-    steady = min(
-        _time(lambda: net.forward(x, training=False)) for _ in range(scale.infer_reps)
-    )
-    reuses = sum(
-        layer.workspace_reuses for layer in net.layers if isinstance(layer, Conv2d)
-    )
+    The grid is *fixed* across scales (only the repeat count varies) so
+    ``plan_fp32_seconds`` is directly comparable between the committed
+    default-scale baseline and CI smoke runs.  ``fp64_bitwise_identical``
+    certifies the fp64 plan's bit-for-bit contract; the fp32 plan's
+    workspace counter certifies that every timed pass ran entirely inside
+    the pre-allocated arena.
+    """
+    from repro.models import tompson_arch
+    from repro.nn import InferencePlan
+
+    reps = max(2, scale.infer_reps)
+    net = tompson_arch(8).build(rng=seed)
+    x = np.random.default_rng(seed).standard_normal((1, 2, grid, grid))
+    plan64 = InferencePlan(net, (2, grid, grid), batch_capacity=1, dtype=np.float64)
+    plan32 = InferencePlan(net, (2, grid, grid), batch_capacity=1, dtype=np.float32)
+
+    ref = net.forward(x, training=False)  # warm the legacy workspaces
+    identical = bool(np.array_equal(plan64.run(x), ref))
+    fp32_err = float(np.abs(plan32.run(x).astype(np.float64) - ref).max())
+    reuses_before = plan32.workspace_reuses
+
+    legacy = min(_time(lambda: net.forward(x, training=False)) for _ in range(reps))
+    fp64 = min(_time(lambda: plan64.run(x)) for _ in range(reps))
+    fp32 = min(_time(lambda: plan32.run(x)) for _ in range(reps))
     return {
         "name": "nn_inference",
-        "params": {"grid": scale.grid, "reps": scale.infer_reps, "seed": seed},
-        "first_call_seconds": first,
-        "steady_state_seconds": steady,
-        "speedup": first / steady if steady > 0 else float("inf"),
-        "workspace_reuses": reuses,
+        "params": {"grid": grid, "reps": reps, "seed": seed, "batch": 1},
+        "legacy_fp64_seconds": legacy,
+        "plan_fp64_seconds": fp64,
+        "plan_fp32_seconds": fp32,
+        "fp32_speedup": legacy / fp32 if fp32 > 0 else float("inf"),
+        "fp64_plan_speedup": legacy / fp64 if fp64 > 0 else float("inf"),
+        "fp64_bitwise_identical": identical,
+        "fp32_max_abs_err": fp32_err,
+        "workspace_reuses": plan32.workspace_reuses - reuses_before,
+        "arena_bytes_fp32": plan32.arena_bytes,
     }
 
 

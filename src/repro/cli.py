@@ -62,8 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument(
         "--solver",
-        choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral"],
+        choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn"],
         default="pcg",
+    )
+    sim.add_argument(
+        "--precision", choices=["fp32", "fp64"], default="fp64",
+        help="NN inference precision (nn solver only): fp32 compiles the "
+        "fast single-precision plan, fp64 stays bitwise-identical to the "
+        "legacy forward",
     )
     sim.add_argument(
         "--backend", choices=["kernel", "reference"], default="kernel",
@@ -134,6 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the solver's own default, kernel)",
     )
     frm.add_argument(
+        "--precision", choices=["fp32", "fp64"], default="fp64",
+        help="NN inference precision for nn jobs (fp64 = bitwise-identical "
+        "default, fp32 = fast single-precision plan)",
+    )
+    frm.add_argument(
         "--backend", choices=["process", "batched", "serial"], default="process",
         help="process pool (fault-tolerant), in-process batched NN threads, or serial baseline",
     )
@@ -192,6 +203,15 @@ def _cmd_simulate(args) -> int:
     from repro import viz
 
     metrics = MetricsRegistry()
+
+    def nn_solver():
+        from repro.models import NNProjectionSolver, tompson_arch
+
+        return NNProjectionSolver(
+            tompson_arch(4).build(rng=args.seed), passes=2,
+            metrics=metrics, precision=args.precision,
+        )
+
     solver = {
         "pcg": lambda: PCGSolver(
             warm_start=args.warm_start, metrics=metrics, backend=args.backend
@@ -206,6 +226,7 @@ def _cmd_simulate(args) -> int:
             metrics=metrics,
             fallback=PCGSolver(metrics=metrics, backend=args.backend),
         ),
+        "nn": nn_solver,
     }[args.solver]()
     grid, source = InputProblem(args.grid, args.seed).materialize()
     sim = FluidSimulator(grid, solver, source, metrics=metrics)
@@ -223,6 +244,7 @@ def _cmd_simulate(args) -> int:
                         "steps": args.steps,
                         "solver": args.solver,
                         "backend": args.backend,
+                        "precision": args.precision,
                         "warm_start": args.warm_start,
                     },
                     "total_seconds": dt,
@@ -355,6 +377,8 @@ def _cmd_farm(args) -> int:
     solver_params = {}
     if args.solver_backend is not None and args.solver in ("pcg", "jacobi-pcg"):
         solver_params["backend"] = args.solver_backend
+    if args.solver == "nn" and args.precision != "fp64":
+        solver_params["precision"] = args.precision
     specs = [
         JobSpec(
             job_id=f"job-{i:03d}",

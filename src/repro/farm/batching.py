@@ -72,6 +72,10 @@ class BatchedInferenceService:
         self._pending: list[_Request] = []
         self._participants = 0
         self._busy = False
+        # bumped whenever a dispatch completes; waiters use it to re-arm
+        # their grace deadline instead of instantly "expiring" after a
+        # long leader dispatch and fragmenting into partial batches
+        self._generation = 0
 
     # ------------------------------------------------------------------
     def register(self) -> None:
@@ -103,12 +107,21 @@ class BatchedInferenceService:
         req = _Request(np.asarray(b), np.asarray(solid))
         deadline = time.monotonic() + self.max_wait
         batch: list[_Request] | None = None
+        expected = 1
         with self._cond:
             self._pending.append(req)
             self._cond.notify_all()
+            gen = self._generation
             while req.result is None and req.error is None:
+                if self._generation != gen:
+                    # a dispatch completed while this request waited: the
+                    # freed participants can re-form a full batch, so the
+                    # grace period starts over rather than expiring stale
+                    gen = self._generation
+                    deadline = time.monotonic() + self.max_wait
                 same_shape = sum(1 for r in self._pending if r.b.shape == req.b.shape)
-                full = same_shape >= max(1, self._participants)
+                expected = max(1, self._participants)
+                full = same_shape >= expected
                 expired = time.monotonic() >= deadline
                 if not self._busy and same_shape > 0 and (full or expired):
                     # leader election: this thread dispatches the batch
@@ -124,23 +137,32 @@ class BatchedInferenceService:
             return req.result
 
         try:
+            # pre-size the shared solver's plan at full registered capacity
+            # so shrinking batches reuse one compiled arena (no rebuilds)
+            ensure = getattr(self.solver, "ensure_capacity", None)
+            if ensure is not None:
+                ensure(batch[0].b.shape, max(len(batch), expected))
             results = self.solver.solve_many(
                 [r.b for r in batch], [r.solid for r in batch]
             )
             m.inc("farm/batch/dispatches")
             m.inc("farm/batch/requests", len(batch))
             m.observe("farm/batch/size", float(len(batch)))
+            if len(batch) < expected:
+                m.inc("farm/batch/partial")
         except BaseException as exc:
             with self._cond:
                 for r in batch:
                     r.error = exc
                 self._busy = False
+                self._generation += 1
                 self._cond.notify_all()
             raise
         with self._cond:
             for r, res in zip(batch, results):
                 r.result = res
             self._busy = False
+            self._generation += 1
             self._cond.notify_all()
         assert req.result is not None
         return req.result

@@ -9,6 +9,7 @@ file behind — the previous checkpoint stays valid.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -28,9 +29,18 @@ def save_checkpoint(sim: FluidSimulator, path: str | Path) -> Path:
     state = sim.save_state()
     state["version"] = np.asarray(CHECKPOINT_VERSION, dtype=np.int64)
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as f:  # file handle: savez must not append ".npz"
-        np.savez(f, **state)
-    tmp.replace(path)
+    try:
+        with open(tmp, "wb") as f:  # file handle: savez must not append ".npz"
+            np.savez(f, **state)
+            # rename-before-durable is atomic in the namespace but not on
+            # disk: fsync the payload so a crash right after the rename
+            # cannot surface a torn-but-"valid" checkpoint
+            f.flush()
+            os.fsync(f.fileno())
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 

@@ -238,8 +238,19 @@ class SimulationFarm:
                 block = 0.0  # only the first get blocks
                 entry = running.get(job_id)
                 if entry is not None and entry[2] == attempt:
-                    entry[0].join()
-                    entry[0].close()
+                    proc = entry[0]
+                    # bounded join: the result is already in hand, so a
+                    # worker whose queue feeder hangs must not stall the
+                    # supervision loop (and every other job's timeout)
+                    proc.join(1.0)
+                    if proc.is_alive():
+                        self.metrics.inc("farm/lingering_workers")
+                        proc.terminate()
+                        proc.join(5.0)
+                        if proc.is_alive():  # pragma: no cover - stubborn worker
+                            proc.kill()
+                            proc.join(5.0)
+                    proc.close()
                     del running[job_id]
                     results[job_id] = JobResult.from_dict(result_dict)
                 # else: stale result of a superseded attempt — drop it
@@ -279,6 +290,14 @@ class SimulationFarm:
                     del running[job_id]
                     reap(job_id, spec, attempt, "worker_deaths")
                 elif now >= deadline:
+                    # the worker may have finished right at the deadline
+                    # with its result still in the pipe: grace-drain before
+                    # declaring a timeout, exactly like the death path
+                    grace = time.monotonic() + 0.5
+                    while job_id in running and time.monotonic() < grace:
+                        drain(0.02)
+                    if job_id not in running:
+                        continue
                     proc.terminate()
                     proc.join(5.0)
                     if proc.is_alive():  # pragma: no cover - stubborn worker

@@ -22,6 +22,18 @@ workspace buffer, and the float view of the geometry channel is cached per
 solid mask, so steady-state inference performs no per-call input
 allocations.  ``reset()`` drops both.
 
+Inference engine: forward passes run through a compiled
+:class:`repro.nn.InferencePlan` (built lazily per input shape and batch
+capacity, rebuilt only when either grows).  ``precision="fp64"`` (default)
+compiles the bitwise-replay plan, so results are bit-for-bit identical to
+the legacy layer-by-layer forward; ``precision="fp32"`` compiles the
+single-precision fast path — the normalised residual is cast to float32 on
+the way into the plan and the predicted pressure increment is cast back to
+float64 here at the solver boundary, so everything downstream (PCG-grade
+residual accounting, DivNorm histories, checkpoints) stays double.  Models
+outside the plan vocabulary fall back to the legacy forward (counted via
+``solver/<name>/plan_unsupported``).
+
 Batch dimension: :meth:`NNProjectionSolver.solve_many` assembles *several*
 same-shape problems (possibly with different solid masks) into one stacked
 ``(N, 2, H, W)`` tensor and runs the defect-correction passes as batched
@@ -41,9 +53,11 @@ import numpy as np
 from repro.fluid.kernels import GeometryKernels
 from repro.fluid.solver_api import MaskKeyedCache, PressureSolver, SolveResult
 from repro.metrics import MetricsRegistry, get_metrics
-from repro.nn import Layer, Network, analyze_network
+from repro.nn import InferencePlan, Layer, Network, PlanError, analyze_network
 
 __all__ = ["NNProjectionSolver"]
+
+_PRECISIONS = {"fp32": np.float32, "fp64": np.float64}
 
 
 class NNProjectionSolver(PressureSolver):
@@ -55,29 +69,99 @@ class NNProjectionSolver(PressureSolver):
         name: str = "nn",
         passes: int = 2,
         metrics: MetricsRegistry | None = None,
+        precision: str = "fp64",
     ):
         if passes < 1:
             raise ValueError("passes must be >= 1")
+        if precision not in _PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {sorted(_PRECISIONS)}, got {precision!r}"
+            )
         self.model = model
         self.name = name
         self.passes = passes
+        self.precision = precision
         self._metrics = metrics
         self._geo_cache = MaskKeyedCache("nn_geometry")
         # multi-entry: batched farm solves interleave several geometries
         self._kernels_cache = MaskKeyedCache("kernels", capacity=16)
         self._x: np.ndarray | None = None  # reused (N, 2, H, W) input workspace
+        self._plan: InferencePlan | None = None
+        self._plan_unsupported = False
 
     def reset(self) -> None:
         """Drop the cached geometry channel and all workspace buffers."""
         self._geo_cache.clear()
         self._kernels_cache.clear()
         self._x = None
+        self._plan = None
+        self._plan_unsupported = False
         stack = [self.model]
         while stack:
             layer = stack.pop()
             if hasattr(layer, "reset_workspace"):
                 layer.reset_workspace()
             stack.extend(getattr(layer, "layers", []))
+
+    def ensure_capacity(self, shape: tuple[int, int], capacity: int) -> None:
+        """Pre-size the input workspace and inference plan for a batch.
+
+        The farm's batched inference service calls this once at full batch
+        capacity so that shrinking batches (jobs finishing at different
+        steps) run through leading-axis views of one plan instead of
+        triggering rebuilds.
+        """
+        shape = tuple(shape)
+        capacity = int(capacity)
+        if (
+            self._x is None
+            or self._x.shape[0] < capacity
+            or self._x.shape[2:] != shape
+        ):
+            self._x = np.empty((capacity, 2) + shape, dtype=np.float64)
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        self._ensure_plan(shape, self._x.shape[0], metrics)
+
+    def _ensure_plan(
+        self, shape: tuple[int, int], capacity: int, metrics: MetricsRegistry
+    ) -> InferencePlan | None:
+        """The compiled plan for ``(2,) + shape`` at ``capacity``, or None.
+
+        Plans are compiled once per (input shape, batch capacity); models
+        outside the plan vocabulary permanently fall back to the legacy
+        layer-by-layer forward (counted, not raised).
+        """
+        if self._plan_unsupported:
+            return None
+        plan = self._plan
+        if (
+            plan is not None
+            and plan.input_shape == (2,) + shape
+            and plan.capacity == capacity
+        ):
+            return plan
+        try:
+            with metrics.timer(f"solver/{self.name}/plan_build"):
+                self._plan = InferencePlan(
+                    self.model,
+                    (2,) + shape,
+                    batch_capacity=capacity,
+                    dtype=_PRECISIONS[self.precision],
+                )
+        except PlanError:
+            self._plan = None
+            self._plan_unsupported = True
+            metrics.inc(f"solver/{self.name}/plan_unsupported")
+            return None
+        metrics.inc(f"solver/{self.name}/plan_builds")
+        return self._plan
+
+    def _infer(self, x: np.ndarray, metrics: MetricsRegistry) -> np.ndarray:
+        """One stacked forward pass through the plan (legacy on fallback)."""
+        plan = self._ensure_plan(x.shape[2:], self._x.shape[0], metrics)
+        if plan is None:
+            return self.model.forward(x, training=False)
+        return plan.run(x)
 
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Approximate the Poisson solution with ``passes`` network inferences."""
@@ -172,7 +256,7 @@ class NNProjectionSolver(PressureSolver):
                     np.divide(R[i], sigmas[i], out=x[i, 0])
                 else:
                     x[i, 0] = 0.0
-            out = self.model.forward(x, training=False)
+            out = self._infer(x, metrics)
             for i in active:
                 dp = out[i, 0] * sigmas[i]
                 P[i] = P[i] + np.where(fluids[i], dp, 0.0)

@@ -19,6 +19,7 @@ from .optim import Adam, Optimizer, SGD
 from .schedulers import CosineLR, LRScheduler, StepLR, WarmupLR
 from .training import Trainer, TrainHistory
 from .accounting import ResourceUsage, analyze_network, pcg_flops, pcg_memory_bytes
+from .engine import InferencePlan, PlanError
 
 __all__ = [
     "Layer",
@@ -51,6 +52,8 @@ __all__ = [
     "WarmupLR",
     "Trainer",
     "TrainHistory",
+    "InferencePlan",
+    "PlanError",
     "ResourceUsage",
     "analyze_network",
     "pcg_flops",

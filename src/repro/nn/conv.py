@@ -120,7 +120,9 @@ class Conv2d(Layer):
 
         dcols = g2 @ wmat  # (N, HW, C*k*k)
         dcols = dcols.reshape(n, h, w, c, k, k)
-        dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+        # grad.dtype, not the float64 default: a float32 training pass must
+        # not silently upcast its returned input gradient
+        dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=grad.dtype)
         for i in range(k):
             for j in range(k):
                 dxp[:, :, i : i + h, j : j + w] += dcols[:, :, :, :, i, j].transpose(0, 3, 1, 2)

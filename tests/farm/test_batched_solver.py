@@ -155,6 +155,107 @@ class TestBatchedInferenceService:
             np.testing.assert_array_equal(res.pressure, ref.pressure)
 
 
+class _GatedSolver:
+    """Stub solver whose first dispatch blocks until released.
+
+    Lets a test hold the service ``_busy`` while other requests queue up,
+    reproducing the long-leader-dispatch contention window.
+    """
+
+    name = "gated"
+
+    def __init__(self):
+        import threading
+
+        self.calls = []
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self._first = True
+
+    def solve_many(self, bs, solids):
+        from repro.fluid.solver_api import SolveResult
+
+        self.calls.append(len(bs))
+        if self._first:
+            self._first = False
+            self.started.set()
+            assert self.release.wait(10)
+        return [SolveResult(np.zeros_like(b), 1, True, 0.0) for b in bs]
+
+
+class TestDeadlineRearm:
+    def test_full_batches_reform_after_a_long_dispatch(self):
+        """Requests that waited out a dispatch must not expire instantly.
+
+        Regression: the grace deadline was fixed at submit time, so a
+        request that queued behind a long leader dispatch was already
+        "expired" when the leader finished and fragmented into a partial
+        batch instead of waiting for the rest of the participants.
+        """
+        import threading
+        import time
+
+        from repro.farm import BatchedInferenceService
+
+        metrics = MetricsRegistry()
+        solver = _GatedSolver()
+        service = BatchedInferenceService(solver, max_wait=0.25, metrics=metrics)
+        service.register()
+        service.register()
+        b, solid = problem(0)
+        threads = []
+
+        def submit():
+            service.solve(b, solid)
+
+        # B: alone, times out its grace period, dispatches a batch of 1,
+        # then blocks inside the gated solver
+        threads.append(threading.Thread(target=submit))
+        threads[-1].start()
+        assert solver.started.wait(10)
+        # C: queues while B's dispatch is in flight, long enough for its
+        # submit-time deadline to expire
+        threads.append(threading.Thread(target=submit))
+        threads[-1].start()
+        time.sleep(0.35)
+        solver.release.set()
+        # D: arrives just after B completes — C must still be waiting so
+        # the two of them form one full batch
+        time.sleep(0.05)
+        threads.append(threading.Thread(target=submit))
+        threads[-1].start()
+        for t in threads:
+            t.join(30)
+        assert not any(t.is_alive() for t in threads)
+        assert solver.calls == [1, 2]
+        assert metrics.counter("farm/batch/dispatches") == 2
+        assert metrics.counter("farm/batch/partial") == 1
+
+    def test_dispatch_prewarms_shared_solver_plan_at_capacity(self):
+        import threading
+
+        from repro.farm import BatchedInferenceService
+
+        metrics = MetricsRegistry()
+        solver = NNProjectionSolver(tompson_arch(4).build(rng=0), passes=1,
+                                    metrics=metrics)
+        service = BatchedInferenceService(solver, max_wait=5.0, metrics=metrics)
+        service.register()
+        service.register()
+        problems = [problem(0), problem(1)]
+        threads = [
+            threading.Thread(target=lambda i=i: service.solve(*problems[i]))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert solver._plan is not None
+        assert solver._plan.capacity == 2
+        assert metrics.counter("solver/nn/plan_builds") == 1
+
+
 class TestConvWorkspaceCapacity:
     def test_shrinking_batch_reuses_workspace(self):
         conv = Conv2d(2, 4, rng=0)

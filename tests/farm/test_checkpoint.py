@@ -78,6 +78,55 @@ def test_load_state_rejects_mismatched_grid(tmp_path):
         other.load_state(load_checkpoint(path))
 
 
+def test_checkpoint_payload_is_fsynced_before_rename(tmp_path, monkeypatch):
+    """Durability regression: the tmp file must hit disk before the rename.
+
+    Atomic-in-the-namespace is not enough — a crash right after the rename
+    could otherwise leave a torn checkpoint that looks valid.
+    """
+    import os
+    from pathlib import Path
+
+    synced_before_rename = []
+    real_fsync = os.fsync
+    real_replace = Path.replace
+
+    def spy_fsync(fd):
+        synced_before_rename.append(fd)
+        return real_fsync(fd)
+
+    def spy_replace(self, target):
+        assert synced_before_rename, "renamed without fsyncing the payload"
+        return real_replace(self, target)
+
+    monkeypatch.setattr(os, "fsync", spy_fsync)
+    monkeypatch.setattr(Path, "replace", spy_replace)
+    sim = make_sim("pcg")
+    sim.run(1)
+    path = save_checkpoint(sim, tmp_path / "c.npz")
+    assert synced_before_rename
+    assert checkpoint_step(path) == 1
+
+
+def test_failed_checkpoint_write_leaves_no_tmp_file(tmp_path, monkeypatch):
+    """A crash mid-write must propagate and not litter ``.tmp`` files."""
+    import numpy as np_mod
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(np_mod, "savez", boom)
+    import repro.farm.checkpoint as ckpt_mod
+
+    monkeypatch.setattr(ckpt_mod.np, "savez", boom)
+    sim = make_sim("pcg")
+    sim.run(1)
+    with pytest.raises(OSError, match="disk full"):
+        save_checkpoint(sim, tmp_path / "c.npz")
+    assert not list(tmp_path.glob("*.tmp"))
+    assert not (tmp_path / "c.npz").exists()
+
+
 def test_checkpoint_write_is_atomic(tmp_path):
     sim = make_sim("pcg")
     sim.run(1)

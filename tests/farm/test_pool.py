@@ -94,6 +94,75 @@ class TestProcessBackend:
         assert report.failed[0].retries == 1
         assert report.metrics.counter("farm/timeouts") == 2
 
+    def test_result_landing_at_the_deadline_is_not_reaped_as_timeout(self, monkeypatch):
+        """Timeout reap must grace-drain the queue like the death path.
+
+        Regression: a worker that finished just as its deadline expired
+        left its success in the queue and, with no retries left, the job
+        was reported failed despite having completed.
+        """
+        import multiprocessing as mp
+        import time
+
+        import repro.farm.pool as pool_mod
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork to monkeypatch the worker entry")
+
+        real_entry = pool_mod._process_worker_entry
+
+        def finishes_at_the_deadline(spec_dict, checkpoint_dir, attempt, out_queue):
+            # the result lands ~0.2 s past the 0.5 s deadline — inside the
+            # grace window the death path already honours
+            time.sleep(0.7)
+            real_entry(spec_dict, checkpoint_dir, attempt, out_queue)
+
+        monkeypatch.setattr(pool_mod, "_process_worker_entry", finishes_at_the_deadline)
+        jobs = [
+            JobSpec(
+                job_id="edge",
+                grid_size=16,
+                seed=3,
+                steps=1,
+                timeout_seconds=0.5,
+                max_retries=0,
+            )
+        ]
+        farm = SimulationFarm(workers=1, backend="process")
+        report = farm.run(jobs)
+        assert report.results[0].ok, report.results[0].error
+        assert report.metrics.counter("farm/timeouts") == 0
+
+    def test_hung_queue_feeder_does_not_stall_supervision(self, monkeypatch):
+        """drain() must bound its join on a worker that already reported.
+
+        Regression: ``entry[0].join()`` was unbounded, so a worker whose
+        process lingered after shipping its result froze the supervision
+        loop and every other job's timeout enforcement.
+        """
+        import multiprocessing as mp
+        import time
+
+        import repro.farm.pool as pool_mod
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork to monkeypatch the worker entry")
+
+        real_entry = pool_mod._process_worker_entry
+
+        def lingering_entry(spec_dict, checkpoint_dir, attempt, out_queue):
+            real_entry(spec_dict, checkpoint_dir, attempt, out_queue)
+            time.sleep(30)  # result is shipped, but the process hangs around
+
+        monkeypatch.setattr(pool_mod, "_process_worker_entry", lingering_entry)
+        farm = SimulationFarm(workers=1, backend="process")
+        t0 = time.monotonic()
+        report = farm.run(make_jobs(1, steps=1))
+        wall = time.monotonic() - t0
+        assert report.results[0].ok
+        assert wall < 15.0  # pre-fix: blocked the full 30 s sleep
+        assert report.metrics.counter("farm/lingering_workers") == 1
+
     def test_in_run_degradation_inside_worker_process(self):
         jobs = [
             JobSpec(job_id="nn-fail", grid_size=16, seed=2, steps=3,

@@ -98,6 +98,81 @@ class TestNNProjectionSolver:
         assert usage.flops > 0 and usage.params == net.param_count()
 
 
+class TestPrecision:
+    """precision= wiring: fp64 stays bitwise, fp32 is close and all-float64 out."""
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            NNProjectionSolver(tompson_arch(4).build(rng=0), precision="fp16")
+
+    def test_fp64_plan_path_is_bitwise_identical_to_legacy(self):
+        g, _ = make_smoke_plume(16, 16, rng=3)
+        b = compatible_rhs(g.solid, 4)
+        planned = NNProjectionSolver(tompson_arch(4).build(rng=0), passes=2)
+        legacy = NNProjectionSolver(tompson_arch(4).build(rng=0), passes=2)
+        legacy._plan_unsupported = True  # force the layer-by-layer forward
+        rp = planned.solve(b, g.solid)
+        rl = legacy.solve(b, g.solid)
+        np.testing.assert_array_equal(rp.pressure, rl.pressure)
+        assert rp.residual_norm == rl.residual_norm
+        assert planned._plan is not None  # the plan actually ran
+
+    def test_fp32_pressure_is_float64_at_the_boundary(self):
+        g, _ = make_smoke_plume(16, 16, rng=3)
+        b = compatible_rhs(g.solid, 4)
+        solver = NNProjectionSolver(tompson_arch(4).build(rng=0), precision="fp32")
+        p = solver.solve(b, g.solid).pressure
+        assert p.dtype == np.float64
+
+    def test_fp32_divergence_reduction_parity(self):
+        """fp32 inference changes the residual only at float32 noise level."""
+        g, _ = make_smoke_plume(20, 20, rng=9)
+        b = compatible_rhs(g.solid, 10)
+        r64 = NNProjectionSolver(tompson_arch(4).build(rng=0), passes=2).solve(b, g.solid)
+        r32 = NNProjectionSolver(
+            tompson_arch(4).build(rng=0), passes=2, precision="fp32"
+        ).solve(b, g.solid)
+        np.testing.assert_allclose(r32.pressure, r64.pressure, atol=1e-4)
+        assert r32.residual_norm == pytest.approx(r64.residual_norm, rel=1e-3, abs=1e-4)
+
+    def test_plan_compiled_once_and_reused(self):
+        from repro.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        g, _ = make_smoke_plume(16, 16, rng=5)
+        solver = NNProjectionSolver(tompson_arch(4).build(rng=0), metrics=m)
+        for seed in range(3):
+            solver.solve(compatible_rhs(g.solid, seed), g.solid)
+        assert m.counter("solver/nn/plan_builds") == 1
+        assert solver._plan.workspace_reuses == 3 * solver.passes
+
+    def test_unplannable_model_falls_back_to_legacy_forward(self):
+        from repro.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        g, _ = make_smoke_plume(16, 16, rng=1)
+        b = compatible_rhs(g.solid, 2)
+        solver = NNProjectionSolver(PerfectModel(), passes=1, metrics=m)
+        res = solver.solve(b, g.solid)
+        assert res.converged
+        assert m.counter("solver/nn/plan_unsupported") == 1
+        assert solver._plan is None
+
+    def test_ensure_capacity_prebuilds_plan_for_batch(self):
+        from repro.metrics import MetricsRegistry
+
+        m = MetricsRegistry()
+        g, _ = make_smoke_plume(16, 16, rng=5)
+        solver = NNProjectionSolver(tompson_arch(4).build(rng=0), metrics=m)
+        solver.ensure_capacity(g.shape, 4)
+        assert solver._plan is not None and solver._plan.capacity == 4
+        # smaller batches ride the same plan, no rebuild
+        solver.solve_many(
+            [compatible_rhs(g.solid, s) for s in range(2)], [g.solid] * 2
+        )
+        assert m.counter("solver/nn/plan_builds") == 1
+
+
 class TestYangModel:
     def test_output_shape(self):
         m = YangModel(rng=0)

@@ -104,6 +104,18 @@ class TestConv2d:
         conv = Conv2d(2, 4, kernel=3, rng=0)
         assert conv.param_count() == 4 * 2 * 9 + 4
 
+    def test_float32_forward_backward_round_trip_stays_float32(self):
+        """Regression: backward allocated its padded gradient as float64,
+        silently upcasting float32 training."""
+        conv = Conv2d(2, 3, rng=0)
+        conv.weight.value = conv.weight.value.astype(np.float32)
+        conv.bias.value = conv.bias.value.astype(np.float32)
+        x = np.random.default_rng(0).standard_normal((2, 2, 8, 8)).astype(np.float32)
+        out = conv.forward(x, training=True)
+        assert out.dtype == np.float32
+        dx = conv.backward(np.ones_like(out))
+        assert dx.dtype == np.float32
+
     def test_backward_requires_training_forward(self):
         conv = Conv2d(1, 1, rng=0)
         conv.forward(np.zeros((1, 1, 4, 4)), training=False)

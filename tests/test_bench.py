@@ -57,9 +57,15 @@ class TestRunBench:
         assert sim["metrics"]["counters"]["sim/steps"] == steps
         assert sim["metrics"]["timers"]["sim/step"]["count"] == steps
 
-    def test_nn_inference_reuses_workspace(self, ci_report):
+    def test_nn_inference_plans_vs_legacy(self, ci_report):
         nn = next(b for b in ci_report["benchmarks"] if b["name"] == "nn_inference")
+        assert nn["fp64_bitwise_identical"]
+        assert nn["fp32_max_abs_err"] < 1e-4
+        # every timed fp32 pass ran inside the pre-allocated arena
         assert nn["workspace_reuses"] >= SCALES["ci"].infer_reps
+        assert nn["arena_bytes_fp32"] > 0
+        # the ISSUE acceptance floor: >= 2x fp32 plan speedup at 128^2
+        assert nn["fp32_speedup"] >= 2.0
 
     def test_farm_throughput_compares_same_job_list(self, ci_report):
         farm = next(b for b in ci_report["benchmarks"] if b["name"] == "farm_throughput")
