@@ -17,7 +17,8 @@ supported entry points and keep working across refactors.
 * the framework — :class:`SmartFluidnet`, :class:`UserRequirement`,
   :class:`OfflineConfig`;
 * observability — the :mod:`repro.metrics` runtime-metrics module
-  (:class:`MetricsRegistry`, :func:`get_metrics`) and
+  (:class:`MetricsRegistry`, :func:`get_metrics`), the :mod:`repro.trace`
+  tracing/timeline module (:class:`Tracer`, :func:`get_tracer`) and
   :func:`repro.benchmark.run_bench`;
 * the execution farm — :class:`JobSpec`, :class:`JobResult`,
   :class:`SimulationFarm`, :class:`FarmReport`.
@@ -53,6 +54,9 @@ Subpackages
     same-shape pressure solves into one forward pass.
 ``repro.metrics``
     Runtime counters/timers with hierarchical scopes and JSON export.
+``repro.trace``
+    Structured tracing: nested spans, histogram metrics with percentiles,
+    typed step-event streams, JSONL and Chrome ``trace_event`` export.
 ``repro.benchmark``
     The ``repro bench`` performance suite (writes ``BENCH_*.json``).
 ``repro.experiments``
@@ -63,8 +67,9 @@ from __future__ import annotations
 
 import warnings
 
-from . import metrics
+from . import metrics, trace
 from .metrics import MetricsRegistry, get_metrics
+from .trace import Tracer, get_tracer
 from .core import OfflineConfig, SmartFluidnet, UserRequirement
 from .fluid import (
     FluidSimulator,
@@ -80,7 +85,7 @@ from .fluid import (
 from .farm import FarmReport, JobResult, JobSpec, SimulationFarm
 from .models import NNProjectionSolver
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # framework
@@ -108,6 +113,9 @@ __all__ = [
     "metrics",
     "MetricsRegistry",
     "get_metrics",
+    "trace",
+    "Tracer",
+    "get_tracer",
     "__version__",
 ]
 

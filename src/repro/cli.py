@@ -9,11 +9,17 @@ Commands
 ``adaptive``     run the adaptive online phase from a saved framework
 ``bench``        run the performance suite and write ``BENCH_<tag>.json``
 ``farm``         run a fleet of simulation jobs on the concurrent farm
+``top``          run a farm fleet with a live terminal status view
+``trace``        summarise or dump a trace file written by ``--trace``
 
 ``simulate`` and ``adaptive`` accept ``--json`` for structured output: the
 per-step records plus the run's full metrics profile, suitable for piping
-into analysis tools.  The common ``--grid/--seed/--steps`` options are
-defined once on shared parent parsers.
+into analysis tools.  ``simulate``, ``adaptive`` and ``farm`` accept
+``--trace PATH`` to record a structured timeline (nested spans, typed step
+events, latency histograms) and write it in Chrome ``trace_event`` format —
+loadable in Perfetto / ``chrome://tracing`` and readable back with
+``repro trace``.  The common ``--grid/--seed/--steps`` options are defined
+once on shared parent parsers.
 """
 
 from __future__ import annotations
@@ -50,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     problem.add_argument("--seed", type=int, default=0, help="input-problem seed")
     stepping = argparse.ArgumentParser(add_help=False)
     stepping.add_argument("--steps", type=int, default=16, help="simulation steps")
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="record a structured trace (spans + step events + histograms) "
+        "and write it as a Chrome trace_event file at PATH",
+    )
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -58,7 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser(
-        "simulate", parents=[problem, stepping], help="run one smoke-plume input problem"
+        "simulate",
+        parents=[problem, stepping, tracing],
+        help="run one smoke-plume input problem",
     )
     sim.add_argument(
         "--solver",
@@ -102,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ada = sub.add_parser(
         "adaptive",
-        parents=[problem, stepping],
+        parents=[problem, stepping, tracing],
         help="run the adaptive phase from a saved framework",
     )
     ada.add_argument("framework", type=str, help="directory saved by 'offline'")
@@ -123,55 +137,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: BENCH_<tag>.json in the current directory)",
     )
 
+    def add_farm_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=8, help="number of jobs in the fleet")
+        p.add_argument(
+            "--solver",
+            choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn"],
+            default="pcg", help="pressure solver every job requests",
+        )
+        p.add_argument(
+            "--solver-backend", choices=["kernel", "reference"], default=None,
+            help="PCG execution backend for pcg/jacobi-pcg jobs "
+            "(default: the solver's own default, kernel)",
+        )
+        p.add_argument(
+            "--precision", choices=["fp32", "fp64"], default="fp64",
+            help="NN inference precision for nn jobs (fp64 = bitwise-identical "
+            "default, fp32 = fast single-precision plan)",
+        )
+        p.add_argument(
+            "--backend", choices=["process", "batched", "serial"], default="process",
+            help="process pool (fault-tolerant), in-process batched NN threads, or serial baseline",
+        )
+        p.add_argument("--workers", type=int, default=None, help="concurrent job slots")
+        p.add_argument(
+            "--checkpoint-every", type=int, default=4,
+            help="checkpoint each job every N steps (0 disables)",
+        )
+        p.add_argument(
+            "--checkpoint-dir", type=str, default=None,
+            help="checkpoint directory (default: temporary, per run)",
+        )
+        p.add_argument("--timeout", type=float, default=None, help="per-attempt seconds budget")
+        p.add_argument("--retries", type=int, default=1, help="max retries per job after hard faults")
+        p.add_argument(
+            "--inject-failure", type=int, default=None, metavar="JOB_INDEX",
+            help="fault-inject one worker failure into job JOB_INDEX mid-run",
+        )
+        p.add_argument(
+            "--fail-mode", choices=["raise", "crash"], default="crash",
+            help="flavour of the injected failure (crash = hard worker death)",
+        )
+
     frm = sub.add_parser(
         "farm",
-        parents=[problem, stepping],
+        parents=[problem, stepping, tracing],
         help="run a fleet of simulation jobs on the concurrent farm",
     )
-    frm.add_argument("--jobs", type=int, default=8, help="number of jobs in the fleet")
-    frm.add_argument(
-        "--solver",
-        choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn"],
-        default="pcg", help="pressure solver every job requests",
-    )
-    frm.add_argument(
-        "--solver-backend", choices=["kernel", "reference"], default=None,
-        help="PCG execution backend for pcg/jacobi-pcg jobs "
-        "(default: the solver's own default, kernel)",
-    )
-    frm.add_argument(
-        "--precision", choices=["fp32", "fp64"], default="fp64",
-        help="NN inference precision for nn jobs (fp64 = bitwise-identical "
-        "default, fp32 = fast single-precision plan)",
-    )
-    frm.add_argument(
-        "--backend", choices=["process", "batched", "serial"], default="process",
-        help="process pool (fault-tolerant), in-process batched NN threads, or serial baseline",
-    )
-    frm.add_argument("--workers", type=int, default=None, help="concurrent job slots")
-    frm.add_argument(
-        "--checkpoint-every", type=int, default=4,
-        help="checkpoint each job every N steps (0 disables)",
-    )
-    frm.add_argument(
-        "--checkpoint-dir", type=str, default=None,
-        help="checkpoint directory (default: temporary, per run)",
-    )
-    frm.add_argument("--timeout", type=float, default=None, help="per-attempt seconds budget")
-    frm.add_argument("--retries", type=int, default=1, help="max retries per job after hard faults")
-    frm.add_argument(
-        "--inject-failure", type=int, default=None, metavar="JOB_INDEX",
-        help="fault-inject one worker failure into job JOB_INDEX mid-run",
-    )
-    frm.add_argument(
-        "--fail-mode", choices=["raise", "crash"], default="crash",
-        help="flavour of the injected failure (crash = hard worker death)",
-    )
+    add_farm_options(frm)
     frm.add_argument(
         "--json", action="store_true",
         help="emit the full farm report (per-job results + merged metrics) as JSON",
     )
+
+    top = sub.add_parser(
+        "top",
+        parents=[problem, stepping, tracing],
+        help="run a farm fleet with a live terminal status view",
+    )
+    add_farm_options(top)
+    top.add_argument(
+        "--interval", type=float, default=0.5,
+        help="live view repaint interval in seconds",
+    )
+
+    trc = sub.add_parser(
+        "trace", help="summarise or dump a trace file written by --trace"
+    )
+    trc.add_argument("file", type=str, help="trace file (Chrome JSON or JSONL)")
+    trc.add_argument(
+        "--summary", action="store_true",
+        help="print only the per-span latency table (p50/p95/p99 from "
+        "histogram data)",
+    )
+    trc.add_argument(
+        "--events", nargs="?", const="all", default=None, metavar="TYPE",
+        help="list the typed step events (optionally only of TYPE)",
+    )
     return parser
+
+
+class _TraceRecorder:
+    """Context manager enabling the process tracer for one CLI run.
+
+    Installs an enabled :class:`repro.trace.Tracer` as the process default
+    when ``path`` is given (no-op otherwise), restores the previous tracer
+    on exit and writes the Chrome ``trace_event`` file.
+    """
+
+    def __init__(self, path: str | None):
+        self.path = path
+        self.tracer = None
+        self._previous = None
+
+    def __enter__(self) -> "_TraceRecorder":
+        if self.path is not None:
+            from repro.trace import Tracer, set_tracer
+
+            self.tracer = Tracer(enabled=True)
+            self._previous = set_tracer(self.tracer)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.tracer is None:
+            return
+        from repro.trace import set_tracer
+
+        set_tracer(self._previous)
+        if exc[0] is None:
+            self.tracer.write_chrome(self.path)
+            print(f"wrote trace to {self.path}", file=sys.stderr)
 
 
 def _step_dict(rec) -> dict:
@@ -231,7 +305,8 @@ def _cmd_simulate(args) -> int:
     grid, source = InputProblem(args.grid, args.seed).materialize()
     sim = FluidSimulator(grid, solver, source, metrics=metrics)
     t0 = time.perf_counter()
-    result = sim.run(args.steps)
+    with _TraceRecorder(args.trace):
+        result = sim.run(args.steps)
     dt = time.perf_counter() - t0
     if args.json:
         print(
@@ -314,7 +389,8 @@ def _cmd_adaptive(args) -> int:
     previous = set_metrics(metrics)  # capture instrumentation of the whole run
     try:
         framework = load_framework(args.framework)
-        run = framework.run(InputProblem(args.grid, args.seed), args.steps)
+        with _TraceRecorder(args.trace):
+            run = framework.run(InputProblem(args.grid, args.seed), args.steps)
     finally:
         set_metrics(previous)
     if args.json:
@@ -368,9 +444,10 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_farm(args) -> int:
+def _build_farm_specs(args) -> list:
+    """Translate the shared farm/top CLI options into a JobSpec fleet."""
     from repro.data import generate_problems
-    from repro.farm import JobSpec, SimulationFarm
+    from repro.farm import JobSpec
 
     problems = generate_problems(args.jobs, args.grid)
     fail_step = max(1, args.steps // 2)
@@ -379,7 +456,7 @@ def _cmd_farm(args) -> int:
         solver_params["backend"] = args.solver_backend
     if args.solver == "nn" and args.precision != "fp64":
         solver_params["precision"] = args.precision
-    specs = [
+    return [
         JobSpec(
             job_id=f"job-{i:03d}",
             grid_size=args.grid,
@@ -395,15 +472,26 @@ def _cmd_farm(args) -> int:
         )
         for i, p in enumerate(problems)
     ]
-    farm = SimulationFarm(
+
+
+def _build_farm(args):
+    from repro.farm import SimulationFarm
+
+    return SimulationFarm(
         workers=args.workers,
         backend=args.backend,
         checkpoint_dir=args.checkpoint_dir,
+        trace=args.trace is not None,
     )
-    report = farm.run(specs)
-    if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
-        return 0 if not report.failed else 1
+
+
+def _write_farm_trace(farm, path: str | None) -> None:
+    if path is not None:
+        farm.tracer.write_chrome(path)
+        print(f"wrote trace to {path}", file=sys.stderr)
+
+
+def _print_farm_report(args, report) -> None:
     print(
         f"{args.backend} farm, {report.workers} worker(s): "
         f"{len(report.completed)}/{len(report.results)} jobs completed "
@@ -425,7 +513,51 @@ def _cmd_farm(args) -> int:
             f"  {r.job_id}: {r.status} ({r.steps_done}/{args.steps} steps, "
             f"{r.solver_used}){suffix}"
         )
+
+
+def _cmd_farm(args) -> int:
+    farm = _build_farm(args)
+    report = farm.run(_build_farm_specs(args))
+    _write_farm_trace(farm, args.trace)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if not report.failed else 1
+    _print_farm_report(args, report)
     return 0 if not report.failed else 1
+
+
+def _cmd_top(args) -> int:
+    from repro.farm import LiveRenderer
+
+    farm = _build_farm(args)
+    with LiveRenderer(farm.fleet, interval=args.interval):
+        report = farm.run(_build_farm_specs(args))
+    _write_farm_trace(farm, args.trace)
+    _print_farm_report(args, report)
+    return 0 if not report.failed else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace import format_summary, read_trace
+
+    tracer = read_trace(args.file)
+    if args.events is not None:
+        type_ = None if args.events == "all" else args.events
+        for ev in tracer.events(type_):
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(ev.attrs.items()))
+            step = f"step {ev.step:>5}" if ev.step is not None else "step     -"
+            print(f"{ev.type:<14} {step}  {attrs}")
+        return 0
+    if not args.summary:
+        spans = tracer.spans()
+        events = tracer.events()
+        by_type: dict[str, int] = {}
+        for ev in events:
+            by_type[ev.type] = by_type.get(ev.type, 0) + 1
+        counts = "  ".join(f"{t}:{n}" for t, n in sorted(by_type.items()))
+        print(f"{args.file}: {len(spans)} spans, {len(events)} events  {counts}")
+    print(format_summary(tracer))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -439,6 +571,8 @@ def main(argv: list[str] | None = None) -> int:
         "adaptive": _cmd_adaptive,
         "bench": _cmd_bench,
         "farm": _cmd_farm,
+        "top": _cmd_top,
+        "trace": _cmd_trace,
     }[args.command](args)
 
 

@@ -33,6 +33,7 @@ from repro.fluid import (
     SimulationResult,
 )
 from repro.models import ArchSpec, TrainedModel, tompson_arch, train_model
+from repro.trace import get_tracer
 
 from .construction import ConstructionConfig, construct_model_family
 from .knn import QlossKNNPredictor
@@ -352,11 +353,17 @@ class SmartFluidnet:
         sim = FluidSimulator(grid, controller.initial_solver(), source, cfg.simulation, controller)
         t0 = time.perf_counter()
         restarted = False
-        try:
-            result = sim.run(steps)
-        except RestartRequested:
-            restarted = True
-            result = run_problem(PCGSolver(), problem, steps, cfg.simulation)
+        with get_tracer().span(
+            "adaptive", steps=steps, start_model=controller.current.name
+        ) as sp:
+            try:
+                result = sim.run(steps)
+            except RestartRequested:
+                restarted = True
+                result = run_problem(PCGSolver(), problem, steps, cfg.simulation)
+            if sp is not None:
+                sp.attrs["restarted"] = restarted
+                sp.attrs["switches"] = len(controller.stats.switches)
         total = time.perf_counter() - t0
         solve = result.solve_seconds + (
             sum(controller.stats.solve_seconds_per_model.values()) if restarted else 0.0

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.fluid import FluidSimulator, RestartRequested, StepRecord
 from repro.metrics import MetricsRegistry, get_metrics
+from repro.trace import get_tracer
 
 from .knn import QlossKNNPredictor
 from .regression import predict_final_cumdivnorm
@@ -165,6 +166,13 @@ class AdaptiveController:
         self.stats.switches.append(
             SwitchEvent(step=step, from_model=old, to_model=self.current.name, predicted_qloss=q_pred)
         )
+        get_tracer().event(
+            "model_switch",
+            step=step,
+            from_model=old,
+            to_model=self.current.name,
+            predicted_qloss=q_pred,
+        )
 
     def _decide(self, sim: FluidSimulator, step: int, q_pred: float) -> None:
         if self.upgrade_only and self._satisfied:
@@ -190,6 +198,13 @@ class AdaptiveController:
             self.stats.restart_requested = True
             m = self._metrics if self._metrics is not None else get_metrics()
             m.inc("adaptive/restarts")
+            get_tracer().event(
+                "pcg_fallback",
+                step=step,
+                reason="qloss_requirement",
+                predicted_qloss=q_pred,
+                q_requirement=self.q,
+            )
             raise RestartRequested(
                 f"predicted qloss {q_pred:.4g} exceeds requirement {self.q:.4g} "
                 "and no more accurate model is available"

@@ -14,6 +14,7 @@ from .batching import BatchedInferenceService, BatchingSolverProxy
 from .checkpoint import load_checkpoint, save_checkpoint
 from .jobs import JobResult, JobSpec, SOLVER_CHOICES
 from .pool import BACKENDS, FarmReport, SimulationFarm
+from .telemetry import FleetView, JobView, LiveRenderer, render_fleet
 from .worker import InjectedWorkerFailure, SimulationDiverged, build_solver, run_job
 
 __all__ = [
@@ -31,4 +32,8 @@ __all__ = [
     "BatchingSolverProxy",
     "save_checkpoint",
     "load_checkpoint",
+    "FleetView",
+    "JobView",
+    "LiveRenderer",
+    "render_fleet",
 ]

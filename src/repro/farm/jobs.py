@@ -123,6 +123,9 @@ class JobResult:
     cum_divnorm: float = 0.0
     error: str | None = None
     metrics: dict = field(default_factory=dict)
+    #: tracer snapshot (:meth:`repro.trace.Tracer.to_dict`) when the farm
+    #: ran with tracing enabled; empty dict otherwise
+    trace: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -40,8 +40,10 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.metrics import MetricsRegistry, set_metrics
+from repro.trace import Tracer, set_tracer
 
 from .jobs import JobResult, JobSpec
+from .telemetry import FleetView
 from .worker import _WORKER_ENV, build_solver, run_job
 
 __all__ = ["FarmReport", "SimulationFarm", "BACKENDS"]
@@ -101,14 +103,39 @@ class FarmReport:
         }
 
 
-def _process_worker_entry(spec_dict: dict, checkpoint_dir: str | None, attempt: int, out_queue) -> None:
-    """Worker-process main: run one job, ship the result dict back."""
+def _process_worker_entry(
+    spec_dict: dict,
+    checkpoint_dir: str | None,
+    attempt: int,
+    out_queue,
+    trace: bool = False,
+    heartbeat_seconds: float = 0.5,
+) -> None:
+    """Worker-process main: run one job, streaming events + the result back.
+
+    Queue protocol: tagged tuples ``("event", job_id, attempt, event_dict)``
+    for in-flight telemetry and exactly one terminal
+    ``("result", job_id, attempt, result_dict)``.
+    """
     os.environ[_WORKER_ENV] = "1"
     m = MetricsRegistry()
     set_metrics(m)  # the worker's whole profile lands in one shippable registry
+    set_tracer(Tracer(enabled=trace))  # private per-process tracer, shipped in the result
     spec = JobSpec.from_dict(spec_dict)
+
+    def on_event(event: dict) -> None:
+        out_queue.put(("event", spec.job_id, attempt, event))
+
     try:
-        result = run_job(spec, checkpoint_dir, metrics=m, attempt=attempt)
+        result = run_job(
+            spec,
+            checkpoint_dir,
+            metrics=m,
+            attempt=attempt,
+            on_event=on_event,
+            heartbeat_seconds=heartbeat_seconds,
+            attach_trace=True,
+        )
     except BaseException as exc:  # harness-level error: report, don't hang the farm
         result = JobResult(
             job_id=spec.job_id,
@@ -117,7 +144,7 @@ def _process_worker_entry(spec_dict: dict, checkpoint_dir: str | None, attempt: 
             error=f"{type(exc).__name__}: {exc}",
             metrics=m.to_dict(),
         )
-    out_queue.put((spec.job_id, attempt, result.to_dict()))
+    out_queue.put(("result", spec.job_id, attempt, result.to_dict()))
 
 
 class SimulationFarm:
@@ -139,6 +166,17 @@ class SimulationFarm:
         Parent supervision cadence of the process backend.
     batch_max_wait:
         ``max_wait`` of the batched backend's inference service.
+    on_event:
+        Optional callback receiving every worker telemetry event (plain
+        dict) as it arrives; the farm's own :attr:`fleet` view is always
+        updated regardless.  May be called from supervision or worker
+        threads — must be thread-safe.
+    trace:
+        Enable structured tracing: workers run with an enabled
+        :class:`repro.trace.Tracer` and the farm merges their spans,
+        events and histograms into :attr:`tracer`.
+    heartbeat_seconds:
+        Minimum spacing of per-job ``heartbeat`` progress events.
     """
 
     def __init__(
@@ -149,6 +187,9 @@ class SimulationFarm:
         metrics: MetricsRegistry | None = None,
         poll_seconds: float = 0.02,
         batch_max_wait: float = 0.05,
+        on_event=None,
+        trace: bool = False,
+        heartbeat_seconds: float = 0.5,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -160,6 +201,19 @@ class SimulationFarm:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.poll_seconds = poll_seconds
         self.batch_max_wait = batch_max_wait
+        self.on_event = on_event
+        self.trace = trace
+        self.heartbeat_seconds = heartbeat_seconds
+        #: live per-job telemetry folded from worker event streams
+        self.fleet = FleetView()
+        #: farm-level tracer; workers' traces merge here when ``trace=True``
+        self.tracer = Tracer(enabled=trace)
+
+    def _dispatch_event(self, event: dict) -> None:
+        """Fold one worker event into the fleet and the user callback."""
+        self.fleet.observe(event)
+        if self.on_event is not None:
+            self.on_event(event)
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[JobSpec]) -> FarmReport:
@@ -168,6 +222,7 @@ class SimulationFarm:
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job_ids within one submission must be unique")
+        self.fleet.expect(ids, {j.job_id: j.steps for j in jobs})
         t0 = time.perf_counter()
         tmp: tempfile.TemporaryDirectory | None = None
         ckpt_dir = self.checkpoint_dir
@@ -187,6 +242,10 @@ class SimulationFarm:
         wall = time.perf_counter() - t0
         for r in results:
             self.metrics.merge(r.metrics)
+            if r.trace:
+                # process-backend workers ship their private tracer back;
+                # serial/batched workers already wrote into self.tracer
+                self.tracer.merge(r.trace)
         self.metrics.inc("farm/jobs", len(results))
         self.metrics.inc("farm/jobs_completed", sum(1 for r in results if r.ok))
         self.metrics.inc("farm/jobs_failed", sum(1 for r in results if not r.ok))
@@ -202,7 +261,20 @@ class SimulationFarm:
 
     # ------------------------------------------------------------------
     def _run_serial(self, jobs: list[JobSpec], ckpt_dir: str) -> list[JobResult]:
-        return [run_job(spec, ckpt_dir, metrics=MetricsRegistry()) for spec in jobs]
+        previous = set_tracer(self.tracer)
+        try:
+            return [
+                run_job(
+                    spec,
+                    ckpt_dir,
+                    metrics=MetricsRegistry(),
+                    on_event=self._dispatch_event,
+                    heartbeat_seconds=self.heartbeat_seconds,
+                )
+                for spec in jobs
+            ]
+        finally:
+            set_tracer(previous)
 
     # ------------------------------------------------------------------
     def _run_process(self, jobs: list[JobSpec], ckpt_dir: str) -> list[JobResult]:
@@ -228,14 +300,18 @@ class SimulationFarm:
                 )
 
         def drain(block_seconds: float) -> None:
-            """Move every queued worker result into ``results``."""
+            """Dispatch queued worker messages: events to the fleet, results in."""
             block = block_seconds
             while True:
                 try:
-                    job_id, attempt, result_dict = out_queue.get(timeout=block)
+                    tag, job_id, attempt, payload = out_queue.get(timeout=block)
                 except queue_mod.Empty:
                     return
                 block = 0.0  # only the first get blocks
+                if tag == "event":
+                    self._dispatch_event(payload)
+                    continue
+                result_dict = payload
                 entry = running.get(job_id)
                 if entry is not None and entry[2] == attempt:
                     proc = entry[0]
@@ -260,7 +336,14 @@ class SimulationFarm:
                 spec, attempt = pending.popleft()
                 proc = ctx.Process(
                     target=_process_worker_entry,
-                    args=(spec.to_dict(), ckpt_dir, attempt, out_queue),
+                    args=(
+                        spec.to_dict(),
+                        ckpt_dir,
+                        attempt,
+                        out_queue,
+                        self.trace,
+                        self.heartbeat_seconds,
+                    ),
                     daemon=True,
                 )
                 proc.start()
@@ -353,7 +436,12 @@ class SimulationFarm:
                 m = MetricsRegistry()
                 try:
                     results[i] = run_job(
-                        spec, ckpt_dir, metrics=m, solver_factory=solver_factory
+                        spec,
+                        ckpt_dir,
+                        metrics=m,
+                        solver_factory=solver_factory,
+                        on_event=self._dispatch_event,
+                        heartbeat_seconds=self.heartbeat_seconds,
                     )
                 except BaseException as exc:
                     results[i] = JobResult(
@@ -369,8 +457,14 @@ class SimulationFarm:
             threading.Thread(target=runner, args=(i, spec), daemon=True)
             for i, spec in enumerate(jobs)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        # job threads share the farm tracer via the process default; the
+        # tracer's per-thread buffers keep concurrent spans lock-free
+        previous = set_tracer(self.tracer)
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            set_tracer(previous)
         return [r for r in results if r is not None]

@@ -1,0 +1,206 @@
+"""Live farm telemetry: fold worker event streams into a fleet view.
+
+Workers emit small plain-dict *events* while they run — ``job_start``,
+throttled ``heartbeat`` progress beats, ``checkpoint``, ``pcg_fallback``
+degradations and a terminal ``job_end`` — over the same channel that
+carries their results (the process backend's queue, or a direct callback
+for the in-process backends).  :class:`FleetView` folds that stream into
+one thread-safe table of per-job state, and :func:`render_fleet` formats
+it as the text dashboard behind ``repro top``.
+
+Events are deliberately independent of :mod:`repro.trace`: heartbeats flow
+even when tracing is disabled, so the live view costs nothing but a dict
+per beat.  When tracing *is* enabled the same events also land in the
+worker's tracer and ship back inside ``JobResult.trace`` for offline
+timeline analysis.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["JobView", "FleetView", "render_fleet", "LiveRenderer"]
+
+#: display order of job states in the fleet table
+_STATE_ORDER = {"running": 0, "degraded": 1, "pending": 2, "completed": 3, "failed": 4}
+
+
+@dataclass
+class JobView:
+    """Last known state of one farm job, as seen through its events."""
+
+    job_id: str
+    state: str = "pending"  # pending | running | degraded | completed | failed
+    step: int = 0
+    steps_total: int = 0
+    divnorm: float = float("nan")
+    solver: str = ""
+    pid: int | None = None
+    attempt: int = 0
+    updated: float = 0.0  # wall-clock time of the last event
+
+    @property
+    def progress(self) -> float:
+        """Completed fraction of the step budget (0 when unknown)."""
+        return self.step / self.steps_total if self.steps_total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "step": self.step,
+            "steps_total": self.steps_total,
+            "divnorm": self.divnorm,
+            "solver": self.solver,
+            "pid": self.pid,
+            "attempt": self.attempt,
+            "updated": self.updated,
+        }
+
+
+class FleetView:
+    """Thread-safe aggregate of per-job telemetry events.
+
+    ``observe`` accepts the plain event dicts workers emit and updates the
+    corresponding :class:`JobView`; readers take consistent snapshots with
+    :meth:`jobs`.  The pool's supervision thread and any number of renderer
+    threads may call in concurrently.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs: dict[str, JobView] = {}
+        self.events_seen = 0
+
+    def expect(self, job_ids: list[str], steps: dict[str, int] | None = None) -> None:
+        """Pre-register jobs so the view shows pending work immediately."""
+        with self._lock:
+            for job_id in job_ids:
+                view = self._jobs.setdefault(job_id, JobView(job_id=job_id))
+                if steps and job_id in steps:
+                    view.steps_total = steps[job_id]
+
+    def observe(self, event: dict) -> None:
+        """Fold one worker event into the fleet state (unknown types kept)."""
+        job_id = event.get("job_id")
+        if not job_id:
+            return
+        etype = event.get("type", "")
+        now = float(event.get("t", time.time()))
+        with self._lock:
+            self.events_seen += 1
+            view = self._jobs.setdefault(job_id, JobView(job_id=job_id))
+            view.updated = max(view.updated, now)
+            if "attempt" in event:
+                view.attempt = int(event["attempt"])
+            if "pid" in event:
+                view.pid = event["pid"]
+            if "solver" in event:
+                view.solver = str(event["solver"])
+            if "steps_total" in event:
+                view.steps_total = int(event["steps_total"])
+            if "step" in event:
+                view.step = int(event["step"])
+            if "divnorm" in event:
+                view.divnorm = float(event["divnorm"])
+            if etype == "job_start":
+                view.state = "running"
+            elif etype == "pcg_fallback":
+                view.state = "degraded"
+            elif etype == "job_end":
+                view.state = "completed" if event.get("status") == "completed" else "failed"
+            elif etype in ("heartbeat", "checkpoint") and view.state == "pending":
+                view.state = "running"
+
+    def jobs(self) -> list[JobView]:
+        """Snapshot of all job views, stable display order."""
+        with self._lock:
+            views = [JobView(**v.to_dict()) for v in self._jobs.values()]
+        views.sort(key=lambda v: (_STATE_ORDER.get(v.state, 9), v.job_id))
+        return views
+
+    def counts(self) -> dict[str, int]:
+        """Number of jobs per state."""
+        out: dict[str, int] = {}
+        for v in self.jobs():
+            out[v.state] = out.get(v.state, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "events_seen": self.events_seen,
+            "jobs": [v.to_dict() for v in self.jobs()],
+        }
+
+
+def _bar(fraction: float, width: int = 16) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    full = int(round(fraction * width))
+    return "#" * full + "." * (width - full)
+
+
+def render_fleet(fleet: FleetView, now: float | None = None) -> str:
+    """Format the fleet as a fixed-width text table (the ``repro top`` body)."""
+    views = fleet.jobs()
+    counts = fleet.counts()
+    now = time.time() if now is None else now
+    head = "  ".join(f"{state}:{n}" for state, n in sorted(counts.items()))
+    lines = [
+        f"farm: {len(views)} jobs  {head}",
+        f"{'JOB':<16} {'STATE':<10} {'PROGRESS':<24} {'DIVNORM':>10} "
+        f"{'SOLVER':<10} {'PID':>7} {'AGE':>6}",
+    ]
+    for v in views:
+        progress = f"[{_bar(v.progress)}] {v.step}/{v.steps_total or '?'}"
+        age = f"{now - v.updated:5.1f}s" if v.updated else "    --"
+        divnorm = f"{v.divnorm:10.3g}" if v.divnorm == v.divnorm else "        --"
+        lines.append(
+            f"{v.job_id:<16} {v.state:<10} {progress:<24} {divnorm} "
+            f"{v.solver:<10} {v.pid if v.pid is not None else '--':>7} {age}"
+        )
+    return "\n".join(lines)
+
+
+class LiveRenderer:
+    """Background thread that repaints a :class:`FleetView` periodically.
+
+    Writes to ``stream`` (default stderr) every ``interval`` seconds while
+    started; :meth:`stop` paints one final frame so the terminal ends on
+    the fleet's terminal state.  Plain-text repaint (no cursor control), so
+    it degrades gracefully in logs and pipes.
+    """
+
+    def __init__(self, fleet: FleetView, interval: float = 0.5, stream=None):
+        self.fleet = fleet
+        self.interval = interval
+        self.stream = stream if stream is not None else sys.stderr
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _paint(self) -> None:
+        print(render_fleet(self.fleet), file=self.stream, flush=True)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._paint()
+
+    def start(self) -> "LiveRenderer":
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self._paint()
+
+    def __enter__(self) -> "LiveRenderer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

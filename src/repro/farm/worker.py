@@ -38,6 +38,7 @@ from repro.fluid import (
     SpectralSolver,
 )
 from repro.metrics import MetricsRegistry
+from repro.trace import get_tracer
 
 from .checkpoint import load_checkpoint, save_checkpoint
 from .jobs import JobResult, JobSpec
@@ -109,74 +110,142 @@ def run_job(
     metrics: MetricsRegistry | None = None,
     attempt: int = 0,
     solver_factory=None,
+    on_event=None,
+    heartbeat_seconds: float = 0.5,
+    attach_trace: bool = False,
 ) -> JobResult:
     """Execute one job to completion (or bounded failure) and report it.
 
     ``solver_factory(spec, kind, metrics)``, when given, replaces
     :func:`build_solver` — the batched backend uses it to hand NN jobs a
     proxy that routes solves through the shared inference service.
+
+    ``on_event(dict)``, when given, receives the job's telemetry stream:
+    ``job_start``, throttled ``heartbeat`` beats (at most one per
+    ``heartbeat_seconds``), ``checkpoint``, ``pcg_fallback`` on graceful
+    degradation and a terminal ``job_end``.  Events are plain dicts so any
+    backend can ship them over its own channel; the same events also land
+    in the process tracer (:func:`repro.trace.get_tracer`) when enabled.
+
+    ``attach_trace=True`` ships the process tracer's snapshot inside
+    ``JobResult.trace``.  Only the process backend sets it — its workers
+    own a private per-process tracer, while the serial/batched backends
+    share one farm tracer whose data would be duplicated per job.
     """
     m = metrics if metrics is not None else MetricsRegistry()
     factory = solver_factory if solver_factory is not None else build_solver
     ckpt = _checkpoint_path(spec, checkpoint_dir)
     t0 = time.perf_counter()
+    tr = get_tracer()
+
+    def emit(type_: str, **attrs) -> None:
+        step = attrs.get("step")
+        tr.event(type_, step=step, job_id=spec.job_id, **{k: v for k, v in attrs.items() if k != "step"})
+        if on_event is not None:
+            event = {
+                "type": type_,
+                "job_id": spec.job_id,
+                "attempt": attempt,
+                "pid": os.getpid(),
+                "t": time.time(),
+            }
+            event.update(attrs)
+            on_event(event)
 
     def make_sim(kind: str) -> FluidSimulator:
         grid, source = InputProblem(spec.grid_size, spec.seed).materialize()
         return FluidSimulator(grid, factory(spec, kind, m), source, metrics=m)
 
     solver_kind = spec.solver
-    sim = make_sim(solver_kind)
-    resumed_from: int | None = None
-    if ckpt is not None and ckpt.exists():
-        sim.load_state(load_checkpoint(ckpt))
-        resumed_from = sim.current_step
-        m.inc("farm/resumes")
+    with tr.span("job", job_id=spec.job_id, attempt=attempt) as job_span:
+        sim = make_sim(solver_kind)
+        resumed_from: int | None = None
+        if ckpt is not None and ckpt.exists():
+            sim.load_state(load_checkpoint(ckpt))
+            resumed_from = sim.current_step
+            m.inc("farm/resumes")
+        emit(
+            "job_start",
+            step=sim.current_step,
+            solver=solver_kind,
+            steps_total=spec.steps,
+            grid_size=spec.grid_size,
+            resumed_from=resumed_from,
+        )
 
-    degraded = False
-    error: str | None = None
-    status = "completed"
-    inject_at = spec.fail_at_step if attempt == 0 else None
-    while sim.current_step < spec.steps:
-        try:
-            if inject_at is not None and sim.current_step == inject_at:
-                inject_at = None
-                if spec.fail_mode == "crash" and os.environ.get(_WORKER_ENV):
-                    os._exit(17)  # hard worker death: no result, no cleanup
-                raise InjectedWorkerFailure(
-                    f"injected failure at step {sim.current_step}"
+        degraded = False
+        error: str | None = None
+        status = "completed"
+        inject_at = spec.fail_at_step if attempt == 0 else None
+        last_beat = time.monotonic()
+        while sim.current_step < spec.steps:
+            try:
+                if inject_at is not None and sim.current_step == inject_at:
+                    inject_at = None
+                    if spec.fail_mode == "crash" and os.environ.get(_WORKER_ENV):
+                        os._exit(17)  # hard worker death: no result, no cleanup
+                    raise InjectedWorkerFailure(
+                        f"injected failure at step {sim.current_step}"
+                    )
+                rec = sim.step()
+                now = time.monotonic()
+                if on_event is not None and now - last_beat >= heartbeat_seconds:
+                    last_beat = now
+                    emit(
+                        "heartbeat",
+                        step=sim.current_step,
+                        steps_total=spec.steps,
+                        divnorm=float(rec.divnorm),
+                        solver=solver_kind,
+                    )
+                if not np.isfinite(rec.divnorm) or (
+                    spec.divnorm_limit is not None and rec.divnorm > spec.divnorm_limit
+                ):
+                    raise SimulationDiverged(
+                        f"DivNorm {rec.divnorm:.3g} at step {rec.step} "
+                        f"exceeds limit {spec.divnorm_limit}"
+                    )
+                if (
+                    ckpt is not None
+                    and spec.checkpoint_every > 0
+                    and sim.current_step % spec.checkpoint_every == 0
+                ):
+                    save_checkpoint(sim, ckpt)
+                    m.inc("farm/checkpoints")
+                    emit("checkpoint", step=sim.current_step)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                if degraded:
+                    status, error = "failed", f"{type(exc).__name__}: {exc}"
+                    m.inc("farm/job_failures")
+                    break
+                # graceful degradation: the exact method from the last good state
+                degraded = True
+                solver_kind = "pcg"
+                m.inc("farm/degradations")
+                emit(
+                    "pcg_fallback",
+                    step=sim.current_step,
+                    reason=f"{type(exc).__name__}: {exc}",
+                    solver=solver_kind,
                 )
-            rec = sim.step()
-            if not np.isfinite(rec.divnorm) or (
-                spec.divnorm_limit is not None and rec.divnorm > spec.divnorm_limit
-            ):
-                raise SimulationDiverged(
-                    f"DivNorm {rec.divnorm:.3g} at step {rec.step} "
-                    f"exceeds limit {spec.divnorm_limit}"
-                )
-            if (
-                ckpt is not None
-                and spec.checkpoint_every > 0
-                and sim.current_step % spec.checkpoint_every == 0
-            ):
-                save_checkpoint(sim, ckpt)
-                m.inc("farm/checkpoints")
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as exc:
-            if degraded:
-                status, error = "failed", f"{type(exc).__name__}: {exc}"
-                m.inc("farm/job_failures")
-                break
-            # graceful degradation: the exact method from the last good state
-            degraded = True
-            solver_kind = "pcg"
-            m.inc("farm/degradations")
-            sim = make_sim(solver_kind)
-            if ckpt is not None and ckpt.exists():
-                sim.load_state(load_checkpoint(ckpt))
-                resumed_from = sim.current_step
-                m.inc("farm/resumes")
+                sim = make_sim(solver_kind)
+                if ckpt is not None and ckpt.exists():
+                    sim.load_state(load_checkpoint(ckpt))
+                    resumed_from = sim.current_step
+                    m.inc("farm/resumes")
+
+        if job_span is not None:
+            job_span.attrs["status"] = status
+            job_span.attrs["steps_done"] = sim.current_step
+        emit(
+            "job_end",
+            step=sim.current_step,
+            status=status,
+            solver=solver_kind,
+            degraded=degraded,
+        )
 
     divnorms = sim.full_divnorm_history
     return JobResult(
@@ -193,4 +262,5 @@ def run_job(
         cum_divnorm=float(divnorms.sum()),
         error=error,
         metrics=m.to_dict(),
+        trace=tr.to_dict() if (attach_trace and tr.enabled) else {},
     )

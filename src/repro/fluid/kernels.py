@@ -37,6 +37,8 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
+from repro.trace import get_tracer
+
 from .laplacian import stencil_arrays
 
 try:  # pragma: no cover - exercised via the fallback test
@@ -89,6 +91,12 @@ class GeometryKernels:
     """
 
     def __init__(self, solid: np.ndarray):
+        with get_tracer().span("kernels/build") as sp:
+            self._build(solid)
+            if sp is not None:
+                sp.attrs["cells"] = self.n
+
+    def _build(self, solid: np.ndarray) -> None:
         self.solid = np.ascontiguousarray(solid, dtype=bool)
         self.shape = self.solid.shape
         fluid = ~self.solid

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.metrics import MetricsRegistry, get_metrics
+from repro.trace import get_tracer
 
 from .operators import apply_laplacian
 from .kernels import GeometryKernels
@@ -222,11 +223,16 @@ class PCGSolver(PressureSolver):
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Solve ``A p = b`` on fluid cells; returns mean-zero pressure."""
         metrics = self._metrics if self._metrics is not None else get_metrics()
-        with metrics.timer(f"solver/{self.name}/solve"):
+        with metrics.timer(f"solver/{self.name}/solve"), get_tracer().span(
+            f"solve/{self.name}", backend=self.backend
+        ) as sp:
             if self.backend == "kernel":
                 result = self._solve_kernel(b, solid, metrics)
             else:
                 result = self._solve_reference(b, solid, metrics)
+            if sp is not None:
+                sp.attrs["iterations"] = result.iterations
+                sp.attrs["converged"] = result.converged
         metrics.inc(f"solver/{self.name}/solves")
         metrics.inc(f"solver/{self.name}/iterations", result.iterations)
         return result
@@ -398,7 +404,9 @@ class JacobiSolver(PressureSolver):
     def solve(self, b: np.ndarray, solid: np.ndarray) -> SolveResult:
         """Run (damped) Jacobi sweeps; converged only if ``tol`` was hit."""
         metrics = self._metrics if self._metrics is not None else get_metrics()
-        with metrics.timer(f"solver/{self.name}/solve"):
+        with metrics.timer(f"solver/{self.name}/solve"), get_tracer().span(
+            f"solve/{self.name}"
+        ):
             kern: GeometryKernels = self._kernels_cache.get(
                 solid, lambda: GeometryKernels(solid), metrics
             )

@@ -17,7 +17,9 @@ restart with the exact method.
 
 from __future__ import annotations
 
+import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -25,6 +27,7 @@ import numpy as np
 from scipy.ndimage import distance_transform_edt
 
 from repro.metrics import MetricsRegistry, get_metrics
+from repro.trace import Event, Tracer, get_tracer
 
 from .advection import advect_scalar, advect_velocity, maccormack_scalar
 from .forces import add_buoyancy, add_vorticity_confinement
@@ -72,6 +75,9 @@ class SimulationResult:
     restarts: int = 0
     #: DivNorm of steps executed before a checkpoint restore (empty if none)
     restored_divnorms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: typed step-event timeline of the whole trajectory (``divnorm``/``step``
+    #: events, pre-restore prefix included); see :mod:`repro.trace`
+    timeline: list[Event] = field(default_factory=list)
 
     @property
     def divnorm_history(self) -> np.ndarray:
@@ -84,7 +90,18 @@ class SimulationResult:
 
     @property
     def full_divnorm_history(self) -> np.ndarray:
-        """DivNorm of the whole trajectory, pre-restore prefix included."""
+        """DivNorm of the whole trajectory, pre-restore prefix included.
+
+        A thin adapter over the ``divnorm`` events of :attr:`timeline`
+        (falling back to :attr:`restored_divnorms` for results built
+        without one).
+        """
+        if self.timeline:
+            events = sorted(
+                (e for e in self.timeline if e.type == "divnorm"),
+                key=lambda e: e.step if e.step is not None else -1,
+            )
+            return np.array([e.attrs["value"] for e in events], dtype=np.float64)
         return np.concatenate([np.asarray(self.restored_divnorms, dtype=np.float64), self.divnorm_history])
 
     @property
@@ -130,6 +147,7 @@ class FluidSimulator:
         config: SimulationConfig | None = None,
         controller: Callable[["FluidSimulator", StepRecord], None] | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.grid = grid
         self.solver = solver
@@ -137,22 +155,30 @@ class FluidSimulator:
         self.config = config or SimulationConfig()
         self.controller = controller
         self.metrics = metrics
+        self.tracer = tracer
         self.weights = divnorm_weights(grid.solid, self.config.divnorm_k)
         self.records: list[StepRecord] = []
         self._step = 0
-        #: DivNorm history of steps executed before a checkpoint restore
-        self._restored_divnorms = np.zeros(0, dtype=np.float64)
+        #: typed step-event stream of the whole trajectory (always recorded;
+        #: ``load_state`` restores the pre-restore prefix into it)
+        self.timeline: list[Event] = []
+        #: step index where the current segment began (0 unless restored)
+        self._segment_start = 0
+
+    def _tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else get_tracer()
 
     def step(self) -> StepRecord:
         """Advance the simulation by one time step."""
         cfg = self.config
         g = self.grid
         m = self.metrics if self.metrics is not None else get_metrics()
+        tr = self._tracer()
         t0 = time.perf_counter()
-        with m.scope("sim"):
+        with m.scope("sim"), tr.span("step", step=self._step):
             if self.source is not None:
                 self.source.apply(g, cfg.dt)
-            with m.timer("advection"):
+            with m.timer("advection"), tr.span("advection"):
                 if cfg.maccormack:
                     g.density = maccormack_scalar(g, g.density, cfg.dt)
                 else:
@@ -160,11 +186,11 @@ class FluidSimulator:
                 new_u, new_v = advect_velocity(g, cfg.dt)
                 g.u, g.v = new_u, new_v
             g.enforce_solid_boundaries()
-            with m.timer("forces"):
+            with m.timer("forces"), tr.span("forces"):
                 add_buoyancy(g, cfg.dt, cfg.buoyancy)
                 if cfg.vorticity_eps > 0:
                     add_vorticity_confinement(g, cfg.dt, cfg.vorticity_eps)
-            info = project(g, self.solver, cfg.dt, cfg.rho, metrics=m)
+            info = project(g, self.solver, cfg.dt, cfg.rho, metrics=m, tracer=tr)
             divnorm = compute_divnorm(g, self.weights)
             rec = StepRecord(
                 step=self._step,
@@ -175,6 +201,26 @@ class FluidSimulator:
             m.inc("steps")
             m.inc("solver_iterations", info.iterations)
             m.observe("step", rec.step_seconds)
+        # the typed step-event stream: always recorded (it is the source of
+        # truth for divnorm trajectories), mirrored into the tracer when on
+        now = time.time()
+        ev_div = Event(
+            type="divnorm", step=rec.step, t=now, attrs={"value": float(divnorm)}
+        )
+        ev_step = Event(
+            type="step",
+            step=rec.step,
+            t=now,
+            attrs={
+                "seconds": float(rec.step_seconds),
+                "solver": info.solver_name,
+                "iterations": int(info.iterations),
+            },
+        )
+        self.timeline.append(ev_div)
+        self.timeline.append(ev_step)
+        tr.record(ev_div)
+        tr.record(ev_step)
         self.records.append(rec)
         self._step += 1
         if self.controller is not None:
@@ -184,13 +230,15 @@ class FluidSimulator:
     def run(self, n_steps: int) -> SimulationResult:
         """Run ``n_steps`` steps and return the result (density + records)."""
         t0 = time.perf_counter()
-        for _ in range(n_steps):
-            self.step()
+        with self._tracer().span("sim", steps=n_steps, start_step=self._step):
+            for _ in range(n_steps):
+                self.step()
         return SimulationResult(
             density=self.grid.density.copy(),
             records=list(self.records),
             total_seconds=time.perf_counter() - t0,
-            restored_divnorms=self._restored_divnorms.copy(),
+            restored_divnorms=self._restored_divnorm_values(),
+            timeline=list(self.timeline),
         )
 
     @property
@@ -198,17 +246,51 @@ class FluidSimulator:
         """Index of the next step to execute (= steps completed so far)."""
         return self._step
 
+    def _restored_divnorm_values(self) -> np.ndarray:
+        """DivNorm values of pre-restore steps, from the event timeline."""
+        events = sorted(
+            (
+                e
+                for e in self.timeline
+                if e.type == "divnorm"
+                and e.step is not None
+                and e.step < self._segment_start
+            ),
+            key=lambda e: e.step,
+        )
+        return np.array([e.attrs["value"] for e in events], dtype=np.float64)
+
+    @property
+    def _restored_divnorms(self) -> np.ndarray:
+        """Deprecated shim over the ``divnorm`` events of :attr:`timeline`.
+
+        Pre-PR5 code read this private array directly; the step-event
+        timeline is now the source of truth.  Use
+        :attr:`full_divnorm_history` (or filter :attr:`timeline`).
+        """
+        warnings.warn(
+            "FluidSimulator._restored_divnorms is deprecated; read the "
+            "'divnorm' events of FluidSimulator.timeline (or "
+            "full_divnorm_history) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._restored_divnorm_values()
+
     @property
     def full_divnorm_history(self) -> np.ndarray:
         """DivNorm of every step executed so far, across checkpoint restores.
 
-        :attr:`records` (and the per-run ``divnorm_history``) cover only the
-        current segment — :meth:`load_state` resets them; this property
-        prepends the restored prefix so trajectory-level diagnostics never
+        A thin adapter over the ``divnorm`` events of :attr:`timeline`,
+        which spans the whole trajectory — :meth:`load_state` restores the
+        pre-restore prefix into it, so trajectory-level diagnostics never
         silently lose the pre-restore steps.
         """
-        current = np.array([r.divnorm for r in self.records], dtype=np.float64)
-        return np.concatenate([self._restored_divnorms, current])
+        events = sorted(
+            (e for e in self.timeline if e.type == "divnorm"),
+            key=lambda e: e.step if e.step is not None else -1,
+        )
+        return np.array([e.attrs["value"] for e in events], dtype=np.float64)
 
     # ------------------------------------------------------------------
     # checkpoint / restore
@@ -218,10 +300,11 @@ class FluidSimulator:
 
         The snapshot captures everything the time-stepping loop reads — the
         MAC-grid fields, the cell flags and the step counter — plus the
-        DivNorm history for diagnostics continuity.  It deliberately excludes
-        the solver (rebuilt from configuration; its per-geometry caches
-        repopulate on the first post-restore step) and the per-step records
-        (their ``ProjectionInfo`` is diagnostic, not state).  The dict is
+        step-event timeline (JSON-encoded) and the DivNorm history for
+        diagnostics continuity.  It deliberately excludes the solver
+        (rebuilt from configuration; its per-geometry caches repopulate on
+        the first post-restore step) and the per-step records (their
+        ``ProjectionInfo`` is diagnostic, not state).  The dict is
         ``np.savez``-compatible; see :mod:`repro.farm.checkpoint`.
         """
         g = self.grid
@@ -233,7 +316,10 @@ class FluidSimulator:
             "pressure": g.pressure.copy(),
             "density": g.density.copy(),
             "flags": g.flags.copy(),
-            "divnorm_history": np.array([r.divnorm for r in self.records], dtype=np.float64),
+            "divnorm_history": self.full_divnorm_history,
+            "timeline": np.asarray(
+                json.dumps([e.to_dict() for e in self.timeline])
+            ),
         }
 
     def load_state(self, state: dict[str, np.ndarray]) -> None:
@@ -262,6 +348,19 @@ class FluidSimulator:
         self.weights = divnorm_weights(g.solid, self.config.divnorm_k)
         self._step = int(state["step"])
         self.records = []
-        self._restored_divnorms = np.asarray(state["divnorm_history"], dtype=np.float64)
+        self._segment_start = self._step
+        if "timeline" in state:
+            payload = np.asarray(state["timeline"]).item()
+            self.timeline = [Event.from_dict(d) for d in json.loads(payload)]
+        else:
+            # pre-timeline checkpoint: reconstruct divnorm events from the
+            # stored history (timestamps unknown); steps count back from
+            # the checkpointed step so the stitched timeline stays dense
+            history = np.asarray(state["divnorm_history"], dtype=np.float64)
+            first = self._step - history.size
+            self.timeline = [
+                Event(type="divnorm", step=first + i, attrs={"value": float(v)})
+                for i, v in enumerate(history)
+            ]
         if hasattr(self.solver, "reset"):
             self.solver.reset()

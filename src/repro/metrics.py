@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -58,12 +59,19 @@ __all__ = [
 
 @dataclass
 class TimerStat:
-    """Aggregated wall-clock statistics of one named timer."""
+    """Aggregated wall-clock statistics of one named timer.
+
+    Empty stats are normal forms: ``min = +inf`` and ``max = -inf`` (the
+    identities of min/max), so merging any combination of empty and
+    non-empty stats — including ones restored from snapshots — is exactly
+    commutative and associative, and ``to_dict``/``from_dict`` round-trip
+    bit-for-bit (both bounds serialise as ``null`` when empty).
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = math.inf
-    max: float = 0.0
+    max: float = -math.inf
 
     def add(self, seconds: float) -> None:
         """Fold one observation into the aggregate."""
@@ -89,23 +97,32 @@ class TimerStat:
             self.max = other.max
 
     def to_dict(self) -> dict:
-        """Plain-JSON representation (``min`` is null when empty)."""
+        """Plain-JSON representation (``min``/``max`` are null when empty)."""
+        empty = self.count == 0
         return {
             "count": self.count,
             "total": self.total,
-            "min": None if self.count == 0 else self.min,
-            "max": self.max,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
             "mean": self.mean,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "TimerStat":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Snapshots of empty stats — including historical ones that recorded
+        ``max = 0.0`` with ``count = 0`` — normalise back to the canonical
+        empty form, so a restored empty stat merges as a true identity.
+        """
+        count = int(d["count"])
+        if count == 0:
+            return cls()
         return cls(
-            count=int(d["count"]),
+            count=count,
             total=float(d["total"]),
             min=math.inf if d.get("min") is None else float(d["min"]),
-            max=float(d.get("max", 0.0)),
+            max=-math.inf if d.get("max") is None else float(d.get("max", 0.0)),
         )
 
 
@@ -120,23 +137,38 @@ class MetricsRegistry:
         self.enabled = enabled
         self.counters: dict[str, float] = {}
         self.timers: dict[str, TimerStat] = {}
-        self._prefix: list[str] = []
+        # scope prefixes are *thread-local*: concurrent threads (e.g. the
+        # batched farm backend, BatchedInferenceService leaders) each keep
+        # their own stack, so scopes never interleave across threads
+        self._scope_tls = threading.local()
 
     # ------------------------------------------------------------------
+    @property
+    def _prefix(self) -> list[str]:
+        prefix = getattr(self._scope_tls, "prefix", None)
+        if prefix is None:
+            prefix = self._scope_tls.prefix = []
+        return prefix
+
     def _qualify(self, name: str) -> str:
-        return "/".join(self._prefix + [name]) if self._prefix else name
+        prefix = self._prefix
+        return "/".join(prefix + [name]) if prefix else name
 
     @contextmanager
     def scope(self, name: str):
-        """Prefix every metric recorded inside the block with ``name/``."""
+        """Prefix every metric recorded inside the block with ``name/``.
+
+        The prefix applies to the current thread only.
+        """
         if not self.enabled:
             yield self
             return
-        self._prefix.append(name)
+        prefix = self._prefix
+        prefix.append(name)
         try:
             yield self
         finally:
-            self._prefix.pop()
+            prefix.pop()
 
     def inc(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to the counter ``name`` (creating it at 0)."""

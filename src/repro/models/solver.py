@@ -54,6 +54,7 @@ from repro.fluid.kernels import GeometryKernels
 from repro.fluid.solver_api import MaskKeyedCache, PressureSolver, SolveResult
 from repro.metrics import MetricsRegistry, get_metrics
 from repro.nn import InferencePlan, Layer, Network, PlanError, analyze_network
+from repro.trace import get_tracer
 
 __all__ = ["NNProjectionSolver"]
 
@@ -140,20 +141,31 @@ class NNProjectionSolver(PressureSolver):
             and plan.capacity == capacity
         ):
             return plan
+        tracer = get_tracer()
         try:
             with metrics.timer(f"solver/{self.name}/plan_build"):
-                self._plan = InferencePlan(
-                    self.model,
-                    (2,) + shape,
-                    batch_capacity=capacity,
-                    dtype=_PRECISIONS[self.precision],
-                )
+                with tracer.span(
+                    "plan_build", solver=self.name, capacity=capacity
+                ):
+                    self._plan = InferencePlan(
+                        self.model,
+                        (2,) + shape,
+                        batch_capacity=capacity,
+                        dtype=_PRECISIONS[self.precision],
+                    )
         except PlanError:
             self._plan = None
             self._plan_unsupported = True
             metrics.inc(f"solver/{self.name}/plan_unsupported")
             return None
         metrics.inc(f"solver/{self.name}/plan_builds")
+        tracer.event(
+            "plan_build",
+            solver=self.name,
+            shape=list(shape),
+            capacity=capacity,
+            precision=self.precision,
+        )
         return self._plan
 
     def _infer(self, x: np.ndarray, metrics: MetricsRegistry) -> np.ndarray:

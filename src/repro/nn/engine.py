@@ -52,6 +52,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.trace import get_tracer
+
 from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
 from .conv import Conv2d
 from .dropout import Dropout
@@ -371,25 +373,32 @@ class InferencePlan:
         self.runs = 0
         self.workspace_reuses = 0
 
-        self._in_slot = _Slot(_buf_shape(input_shape, self.layout))
-        slots = [self._in_slot]
-        self._steps, self._out_slot, self.output_shape = self._compile(
-            self._layers_of(model), self._in_slot, input_shape, slots
-        )
+        with get_tracer().span(
+            "nn/plan_compile",
+            capacity=self.capacity,
+            dtype=str(self.dtype),
+        ) as sp:
+            self._in_slot = _Slot(_buf_shape(input_shape, self.layout))
+            slots = [self._in_slot]
+            self._steps, self._out_slot, self.output_shape = self._compile(
+                self._layers_of(model), self._in_slot, input_shape, slots
+            )
 
-        # one arena spanning every workspace; buffers are views into it,
-        # sized by capacity along the (reserved, leading) batch axis
-        for s in slots:
-            s.shape = (self.capacity,) + tuple(s.shape[1:])
-        total = sum(s.size for s in slots)
-        self._arena = np.empty(total, dtype=self.dtype)
-        offset = 0
-        for s in slots:
-            view = self._arena[offset : offset + s.size].reshape(s.shape)
-            if s.zero:  # conv pad borders stay zero for the arena's lifetime
-                view[...] = 0
-            s.array = view
-            offset += s.size
+            # one arena spanning every workspace; buffers are views into it,
+            # sized by capacity along the (reserved, leading) batch axis
+            for s in slots:
+                s.shape = (self.capacity,) + tuple(s.shape[1:])
+            total = sum(s.size for s in slots)
+            self._arena = np.empty(total, dtype=self.dtype)
+            offset = 0
+            for s in slots:
+                view = self._arena[offset : offset + s.size].reshape(s.shape)
+                if s.zero:  # conv pad borders stay zero for the arena's lifetime
+                    view[...] = 0
+                s.array = view
+                offset += s.size
+            if sp is not None:
+                sp.attrs["arena_bytes"] = int(self._arena.nbytes)
 
     # ------------------------------------------------------------------
     @staticmethod

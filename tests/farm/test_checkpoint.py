@@ -64,7 +64,41 @@ def test_checkpoint_preserves_divnorm_history(tmp_path):
     np.testing.assert_allclose(state["divnorm_history"], history)
     fresh = make_sim("pcg")
     fresh.load_state(state)
-    np.testing.assert_allclose(fresh._restored_divnorms, history)
+    np.testing.assert_allclose(fresh.full_divnorm_history, history)
+
+
+def test_restored_divnorms_shim_warns_but_still_answers(tmp_path):
+    sim = make_sim("pcg")
+    sim.run(SPLIT_AT)
+    history = [r.divnorm for r in sim.records]
+    path = save_checkpoint(sim, tmp_path / "c.npz")
+    fresh = make_sim("pcg")
+    fresh.load_state(load_checkpoint(path))
+    with pytest.warns(DeprecationWarning, match="_restored_divnorms is deprecated"):
+        values = fresh._restored_divnorms
+    np.testing.assert_allclose(values, history)
+
+
+def test_resume_stitches_timeline_without_dup_or_missing_steps(tmp_path):
+    """The step-event timeline must cover every step exactly once after a
+    checkpoint restore — no duplicated pre-restore events, no gap at the seam.
+    """
+    reference = make_sim("pcg")
+    ref_result = reference.run(TOTAL_STEPS)
+
+    first = make_sim("pcg")
+    first.run(SPLIT_AT)
+    path = save_checkpoint(first, tmp_path / "job.ckpt.npz")
+    resumed = make_sim("pcg")
+    resumed.load_state(load_checkpoint(path))
+    result = resumed.run(TOTAL_STEPS - SPLIT_AT)
+
+    for type_ in ("divnorm", "step"):
+        steps = sorted(e.step for e in result.timeline if e.type == type_)
+        assert steps == list(range(TOTAL_STEPS)), type_
+    np.testing.assert_allclose(
+        result.full_divnorm_history, ref_result.full_divnorm_history
+    )
 
 
 def test_load_state_rejects_mismatched_grid(tmp_path):

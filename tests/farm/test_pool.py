@@ -111,11 +111,11 @@ class TestProcessBackend:
 
         real_entry = pool_mod._process_worker_entry
 
-        def finishes_at_the_deadline(spec_dict, checkpoint_dir, attempt, out_queue):
+        def finishes_at_the_deadline(spec_dict, checkpoint_dir, attempt, out_queue, *extra):
             # the result lands ~0.2 s past the 0.5 s deadline — inside the
             # grace window the death path already honours
             time.sleep(0.7)
-            real_entry(spec_dict, checkpoint_dir, attempt, out_queue)
+            real_entry(spec_dict, checkpoint_dir, attempt, out_queue, *extra)
 
         monkeypatch.setattr(pool_mod, "_process_worker_entry", finishes_at_the_deadline)
         jobs = [
@@ -150,8 +150,8 @@ class TestProcessBackend:
 
         real_entry = pool_mod._process_worker_entry
 
-        def lingering_entry(spec_dict, checkpoint_dir, attempt, out_queue):
-            real_entry(spec_dict, checkpoint_dir, attempt, out_queue)
+        def lingering_entry(spec_dict, checkpoint_dir, attempt, out_queue, *extra):
+            real_entry(spec_dict, checkpoint_dir, attempt, out_queue, *extra)
             time.sleep(30)  # result is shipped, but the process hangs around
 
         monkeypatch.setattr(pool_mod, "_process_worker_entry", lingering_entry)

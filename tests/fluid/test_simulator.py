@@ -137,6 +137,41 @@ class TestFluidSimulator:
         np.testing.assert_array_equal(resumed.full_divnorm_history, expected)
         np.testing.assert_array_equal(res.full_divnorm_history, expected)
 
+    def test_timeline_records_typed_step_events(self):
+        sim = self.make_sim()
+        sim.run(3)
+        divnorms = [e for e in sim.timeline if e.type == "divnorm"]
+        steps = [e for e in sim.timeline if e.type == "step"]
+        assert [e.step for e in divnorms] == [0, 1, 2]
+        assert [e.step for e in steps] == [0, 1, 2]
+        for e, rec in zip(divnorms, sim.records):
+            assert e.attrs["value"] == rec.divnorm
+        for e in steps:
+            assert e.attrs["solver"] == "pcg"
+            assert e.attrs["seconds"] > 0
+
+    def test_timeline_mirrors_into_an_attached_tracer(self):
+        from repro.trace import Tracer
+
+        tracer = Tracer(enabled=True)
+        g, s = make_smoke_plume(24, 24, rng=0)
+        sim = FluidSimulator(g, PCGSolver(), s, tracer=tracer)
+        sim.run(2)
+        assert [e.step for e in tracer.events("divnorm")] == [0, 1]
+        names = {sp.name for sp in tracer.spans()}
+        assert {"sim", "step", "advection", "forces", "projection"} <= names
+        # the timeline itself is recorded even with tracing off elsewhere
+        assert len(sim.timeline) == 4
+
+    def test_timeline_survives_state_round_trip(self):
+        donor = self.make_sim(seed=2)
+        donor.run(3)
+        resumed = self.make_sim(seed=2)
+        resumed.load_state(donor.save_state())
+        res = resumed.run(2)
+        steps = sorted(e.step for e in res.timeline if e.type == "divnorm")
+        assert steps == [0, 1, 2, 3, 4]
+
     def test_controller_invoked_every_step(self):
         calls = []
         g, s = make_smoke_plume(24, 24, rng=0)

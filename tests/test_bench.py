@@ -16,6 +16,7 @@ EXPECTED_BENCHMARKS = {
     "nn_inference",
     "farm_throughput",
     "perf_kernels",
+    "tracing_overhead",
 }
 
 
@@ -86,6 +87,19 @@ class TestRunBench:
         # the compiled kernel backend must beat the matrix-free reference;
         # 2x is a loose floor (the tracked BENCH_pr3.json shows much more)
         assert perf["speedup"] > 2.0
+
+    def test_tracing_overhead_records_activity(self, ci_report):
+        tracing = next(
+            b for b in ci_report["benchmarks"] if b["name"] == "tracing_overhead"
+        )
+        assert tracing["spans_recorded"] > 0
+        assert tracing["events_recorded"] > 0
+        assert tracing["disabled_seconds"] > 0
+        assert tracing["enabled_seconds"] > 0
+        # the ratio is noise-dominated on shared runners; CI gates the
+        # best interleaved pair at 1.05, here we only sanity-bound it
+        assert 0.5 < tracing["overhead_ratio_best"] <= tracing["overhead_ratio"]
+        assert tracing["overhead_ratio"] < 2.0
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):

@@ -1,9 +1,12 @@
 """Tests for the repro.metrics runtime-observability module."""
 
 import json
+import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.metrics import (
     NULL_METRICS,
@@ -73,6 +76,42 @@ class TestScopes:
                 raise RuntimeError
         m.inc("after")
         assert m.counter("after") == 1.0
+
+    def test_scopes_are_thread_local(self):
+        """Two threads' scopes must not interleave on a shared registry.
+
+        Regression (PR5): the prefix stack was a plain instance list, so a
+        batched-backend worker thread entering ``scope`` mid-block could
+        prepend its prefix to another thread's metric names.
+        """
+        m = MetricsRegistry()
+        barrier = threading.Barrier(2, timeout=10)
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(200):
+                    with m.scope(name):
+                        barrier.wait()  # both threads are inside their scope
+                        m.inc("ticks")
+                        with m.scope("inner"):
+                            m.inc("ticks")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        # every metric landed under its own thread's prefix, nothing crossed
+        assert m.counter("a/ticks") == 200
+        assert m.counter("b/ticks") == 200
+        assert m.counter("a/inner/ticks") == 200
+        assert m.counter("b/inner/ticks") == 200
+        cross = [k for k in m.counters if "a/b" in k or "b/a" in k]
+        assert cross == []
 
 
 class TestJSONRoundTrip:
@@ -145,7 +184,58 @@ class TestMerge:
         b.observe("t", 0.5)
         a.merge(b)
         assert a.timers["t"].min == 0.5
+        assert a.timers["t"].max == 0.5
         assert a.timers["t"].count == 1
+
+
+_durations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=8
+)
+
+
+def _stat(values) -> TimerStat:
+    stat = TimerStat()
+    for v in values:
+        stat.add(v)
+    return stat
+
+
+class TestTimerStatProperties:
+    """Empty stats are normal forms: round-trip and merge stay exact.
+
+    Regression (PR5): an empty ``TimerStat`` used to serialise ``max=0.0``,
+    so a restored empty stat was *not* a merge identity — merging it into
+    real data could pull ``max`` down to 0.  Both bounds now serialise as
+    null and ``from_dict`` normalises any ``count=0`` snapshot.
+    """
+
+    @given(_durations)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_is_exact_including_empty(self, values):
+        stat = _stat(values)
+        restored = TimerStat.from_dict(json.loads(json.dumps(stat.to_dict())))
+        assert restored == stat
+        assert restored.to_dict() == stat.to_dict()
+
+    @given(_durations, _durations)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutes_even_through_snapshots(self, xs, ys):
+        direct, swapped = _stat(xs), _stat(ys)
+        direct.merge(_stat(ys))
+        swapped.merge(_stat(xs))
+        assert direct.to_dict() == swapped.to_dict()
+        # merging a *restored* stat behaves exactly like merging the original
+        via_snapshot = _stat(xs)
+        via_snapshot.merge(TimerStat.from_dict(_stat(ys).to_dict()))
+        assert via_snapshot.to_dict() == direct.to_dict()
+
+    @given(_durations)
+    @settings(max_examples=50, deadline=None)
+    def test_restored_empty_stat_is_a_merge_identity(self, values):
+        stat = _stat(values)
+        before = stat.to_dict()
+        stat.merge(TimerStat.from_dict(TimerStat().to_dict()))
+        assert stat.to_dict() == before
 
 
 class TestForkedDefaultRegistry:
