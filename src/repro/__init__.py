@@ -11,6 +11,10 @@ supported entry points and keep working across refactors.
 
 * simulation — :class:`FluidSimulator`, :class:`SimulationConfig`,
   :class:`SimulationResult`;
+* scenarios — the workload registry: :class:`ScenarioSpec`,
+  :func:`build_scenario`, :func:`parse_scenario`, :func:`list_scenarios`,
+  :func:`register_scenario` (smoke plume, inflow jets, moving solids,
+  free-surface liquids);
 * solvers — :class:`PressureSolver` (the protocol), :class:`PCGSolver`,
   :class:`JacobiSolver`, :class:`MultigridSolver`, :class:`SpectralSolver`,
   :class:`NNProjectionSolver`, :class:`SolveResult`;
@@ -77,15 +81,20 @@ from .fluid import (
     MultigridSolver,
     PCGSolver,
     PressureSolver,
+    ScenarioSpec,
     SimulationConfig,
     SimulationResult,
     SolveResult,
     SpectralSolver,
+    build_scenario,
+    list_scenarios,
+    parse_scenario,
+    register_scenario,
 )
 from .farm import FarmReport, JobResult, JobSpec, SimulationFarm
 from .models import NNProjectionSolver
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # framework
@@ -96,6 +105,12 @@ __all__ = [
     "FluidSimulator",
     "SimulationConfig",
     "SimulationResult",
+    # scenario registry
+    "ScenarioSpec",
+    "register_scenario",
+    "build_scenario",
+    "parse_scenario",
+    "list_scenarios",
     # solver protocol + implementations
     "PressureSolver",
     "SolveResult",

@@ -47,6 +47,11 @@ Benchmarks
     path must be a no-op: ``overhead_ratio`` (enabled/disabled wall time)
     is gated in CI at 1.05, holding the tracing instrumentation to <5%
     even when *on*.
+``scenario_sweep``
+    One short end-to-end run per registered scenario (smoke plume, inflow
+    jets, moving solids, Kármán street, free-surface liquids).  A liveness
+    gate: any crash fails the suite; per-scenario seconds and final
+    DivNorm are recorded.
 
 Scales
 ------
@@ -70,7 +75,7 @@ __all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
 
 SCHEMA = "repro-bench/v1"
 #: tag of the BENCH_<tag>.json this PR emits
-DEFAULT_TAG = "pr5"
+DEFAULT_TAG = "pr6"
 
 
 @dataclass(frozen=True)
@@ -430,8 +435,66 @@ def _bench_tracing_overhead(
     }
 
 
-def run_bench(scale: str = "default", seed: int = 0) -> dict:
-    """Run the whole suite at one scale and return the report dict."""
+def _bench_scenario_sweep(scale: BenchScale, seed: int = 0, scenario: str | None = None) -> dict:
+    """One short end-to-end run per registered scenario.
+
+    A liveness gate for the scenario universe rather than a timing race:
+    every registered workload (smoke plume, jets, moving solids, free
+    surfaces) must build and step without crashing — any exception
+    propagates and fails the suite.  Per-scenario wall seconds and the
+    final DivNorm are still recorded so gross regressions show up in the
+    report.  ``scenario`` restricts the sweep to one registry entry.
+    """
+    from repro.fluid import (
+        FluidSimulator,
+        PCGSolver,
+        SimulationConfig,
+        build_scenario,
+        list_scenarios,
+        parse_scenario,
+    )
+    from repro.metrics import NULL_METRICS
+
+    grid = min(scale.grid, 32)  # liveness, not throughput: keep every entry short
+    steps = max(2, scale.sim_steps // 2)
+    if scenario is not None:
+        specs = [parse_scenario(scenario)]
+    else:
+        specs = [parse_scenario(info.name) for info in list_scenarios()]
+    runs = []
+    for sspec in specs:
+        sspec = sspec.with_defaults(grid=grid)
+        g, driver = build_scenario(sspec, rng=seed)
+        solver = driver.wrap_solver(PCGSolver(metrics=NULL_METRICS))
+        overrides = getattr(driver, "config_overrides", {})
+        config = SimulationConfig(**overrides) if overrides else None
+        sim = FluidSimulator(g, solver, driver, config=config, metrics=NULL_METRICS)
+        seconds = _time(lambda: sim.run(steps))
+        divnorms = sim.full_divnorm_history
+        final = float(divnorms[-1]) if divnorms.size else float("nan")
+        if not np.isfinite(final):
+            raise RuntimeError(f"scenario {sspec.to_string()!r} diverged: DivNorm {final}")
+        runs.append(
+            {
+                "scenario": sspec.to_string(),
+                "seconds": seconds,
+                "final_divnorm": final,
+            }
+        )
+    return {
+        "name": "scenario_sweep",
+        "params": {"grid": grid, "steps": steps, "seed": seed},
+        "scenarios": runs,
+        "total_seconds": sum(r["seconds"] for r in runs),
+    }
+
+
+def run_bench(scale: str = "default", seed: int = 0, scenario: str | None = None) -> dict:
+    """Run the whole suite at one scale and return the report dict.
+
+    ``scenario`` narrows the ``scenario_sweep`` benchmark to a single
+    registry entry; every other benchmark is unaffected.
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
     s = SCALES[scale]
@@ -443,6 +506,7 @@ def run_bench(scale: str = "default", seed: int = 0) -> dict:
         _bench_farm_throughput(s, seed),
         _bench_perf_kernels(s, seed),
         _bench_tracing_overhead(s, seed),
+        _bench_scenario_sweep(s, seed, scenario),
     ]
     return {
         "schema": SCHEMA,

@@ -2,7 +2,8 @@
 
 Commands
 --------
-``simulate``     run one smoke-plume problem and print/render the result
+``simulate``     run one scenario and print/render the result
+``scenarios``    list the registered scenarios and their parameters
 ``experiment``   regenerate one of the paper's tables/figures
 ``offline``      build the Smart-fluidnet offline phase and save it
 ``report``       run every experiment and write one combined report
@@ -11,6 +12,11 @@ Commands
 ``farm``         run a fleet of simulation jobs on the concurrent farm
 ``top``          run a farm fleet with a live terminal status view
 ``trace``        summarise or dump a trace file written by ``--trace``
+
+``simulate``, ``farm``, ``top`` and ``bench`` share one ``--scenario``
+selector in the form ``name[:key=val,key=val]`` (e.g.
+``--scenario dam_break:grid=64,gravity=3.0``); ``repro scenarios`` lists
+the registry with per-scenario parameter docs.
 
 ``simulate`` and ``adaptive`` accept ``--json`` for structured output: the
 per-step records plus the run's full metrics profile, suitable for piping
@@ -54,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
     problem = argparse.ArgumentParser(add_help=False)
     problem.add_argument("--grid", type=int, default=32, help="grid resolution (NxN)")
     problem.add_argument("--seed", type=int, default=0, help="input-problem seed")
+    scenario = argparse.ArgumentParser(add_help=False)
+    scenario.add_argument(
+        "--scenario", type=str, default="smoke_plume", metavar="NAME[:K=V,...]",
+        help="scenario selector from the registry, e.g. smoke_plume or "
+        "dam_break:grid=64 (see 'repro scenarios'); scenario parameters "
+        "override --grid",
+    )
     stepping = argparse.ArgumentParser(add_help=False)
     stepping.add_argument("--steps", type=int, default=16, help="simulation steps")
     tracing = argparse.ArgumentParser(add_help=False)
@@ -71,8 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser(
         "simulate",
-        parents=[problem, stepping, tracing],
-        help="run one smoke-plume input problem",
+        parents=[problem, scenario, stepping, tracing],
+        help="run one scenario (default: the smoke-plume input problem)",
     )
     sim.add_argument(
         "--solver",
@@ -99,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--json", action="store_true",
         help="emit step records + metrics profile as JSON on stdout",
+    )
+
+    scn = sub.add_parser(
+        "scenarios", help="list the registered scenarios and their parameters"
+    )
+    scn.add_argument(
+        "--json", action="store_true",
+        help="emit the registry (names, descriptions, params) as JSON",
     )
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure of the paper")
@@ -132,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["smoke", "ci", "default", "paper"], default="default"
     )
     ben.add_argument("--seed", type=int, default=0)
+    ben.add_argument(
+        "--scenario", type=str, default=None, metavar="NAME[:K=V,...]",
+        help="restrict the scenario_sweep benchmark to one scenario "
+        "(default: sweep every registered scenario)",
+    )
     ben.add_argument(
         "--output", type=str, default=None,
         help="output JSON path (default: BENCH_<tag>.json in the current directory)",
@@ -180,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     frm = sub.add_parser(
         "farm",
-        parents=[problem, stepping, tracing],
+        parents=[problem, scenario, stepping, tracing],
         help="run a fleet of simulation jobs on the concurrent farm",
     )
     add_farm_options(frm)
@@ -191,7 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     top = sub.add_parser(
         "top",
-        parents=[problem, stepping, tracing],
+        parents=[problem, scenario, stepping, tracing],
         help="run a farm fleet with a live terminal status view",
     )
     add_farm_options(top)
@@ -265,13 +291,15 @@ def _step_dict(rec) -> dict:
 
 
 def _cmd_simulate(args) -> int:
-    from repro.data import InputProblem
     from repro.fluid import (
         FluidSimulator,
         JacobiSolver,
         MultigridSolver,
         PCGSolver,
+        SimulationConfig,
         SpectralSolver,
+        build_scenario,
+        parse_scenario,
     )
     from repro.metrics import MetricsRegistry
     from repro import viz
@@ -302,8 +330,12 @@ def _cmd_simulate(args) -> int:
         ),
         "nn": nn_solver,
     }[args.solver]()
-    grid, source = InputProblem(args.grid, args.seed).materialize()
-    sim = FluidSimulator(grid, solver, source, metrics=metrics)
+    sspec = parse_scenario(args.scenario).with_defaults(grid=args.grid)
+    grid, driver = build_scenario(sspec, rng=args.seed)
+    solver = driver.wrap_solver(solver)
+    overrides = getattr(driver, "config_overrides", {})
+    config = SimulationConfig(**overrides) if overrides else None
+    sim = FluidSimulator(grid, solver, driver, config=config, metrics=metrics)
     t0 = time.perf_counter()
     with _TraceRecorder(args.trace):
         result = sim.run(args.steps)
@@ -314,9 +346,10 @@ def _cmd_simulate(args) -> int:
                 {
                     "command": "simulate",
                     "config": {
-                        "grid": args.grid,
+                        "grid": grid.nx,
                         "seed": args.seed,
                         "steps": args.steps,
+                        "scenario": sspec.to_string(),
                         "solver": args.solver,
                         "backend": args.backend,
                         "precision": args.precision,
@@ -332,7 +365,7 @@ def _cmd_simulate(args) -> int:
         )
     else:
         print(
-            f"{args.grid}x{args.grid}, {args.steps} steps with {args.solver}: "
+            f"{sspec.name} {grid.nx}x{grid.ny}, {args.steps} steps with {args.solver}: "
             f"{dt:.2f}s total, {result.solve_seconds:.2f}s in the pressure solver"
         )
     if args.ascii:
@@ -341,6 +374,38 @@ def _cmd_simulate(args) -> int:
         path = viz.save_pgm(result.density, args.pgm)
         if not args.json:
             print(f"wrote {path}")
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.fluid import list_scenarios
+
+    infos = list_scenarios()
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": info.name,
+                        "description": info.description,
+                        "params": [
+                            {"name": p.name, "default": p.default, "doc": p.doc}
+                            for p in info.params
+                        ],
+                    }
+                    for info in infos
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    for info in infos:
+        print(f"{info.name}")
+        if info.description:
+            print(f"    {info.description}")
+        for p in info.params:
+            doc = f"  -- {p.doc}" if p.doc else ""
+            print(f"    {p.name}={p.default!r}{doc}")
     return 0
 
 
@@ -432,7 +497,7 @@ def _cmd_adaptive(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.benchmark import DEFAULT_TAG, run_bench, write_bench
 
-    report = run_bench(scale=args.scale, seed=args.seed)
+    report = run_bench(scale=args.scale, seed=args.seed, scenario=args.scenario)
     output = args.output or f"BENCH_{DEFAULT_TAG}.json"
     path = write_bench(report, output)
     cache = next(b for b in report["benchmarks"] if b["name"] == "pcg_geometry_cache")
@@ -448,8 +513,11 @@ def _build_farm_specs(args) -> list:
     """Translate the shared farm/top CLI options into a JobSpec fleet."""
     from repro.data import generate_problems
     from repro.farm import JobSpec
+    from repro.fluid import parse_scenario
 
-    problems = generate_problems(args.jobs, args.grid)
+    sspec = parse_scenario(args.scenario)
+    grid_size = int(sspec.get("grid", args.grid))
+    problems = generate_problems(args.jobs, grid_size)
     fail_step = max(1, args.steps // 2)
     solver_params = {}
     if args.solver_backend is not None and args.solver in ("pcg", "jacobi-pcg"):
@@ -459,8 +527,9 @@ def _build_farm_specs(args) -> list:
     return [
         JobSpec(
             job_id=f"job-{i:03d}",
-            grid_size=args.grid,
+            grid_size=grid_size,
             seed=p.seed + args.seed,
+            scenario=sspec.to_string(),
             steps=args.steps,
             solver=args.solver,
             solver_params=solver_params,
@@ -565,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {
         "simulate": _cmd_simulate,
+        "scenarios": _cmd_scenarios,
         "experiment": _cmd_experiment,
         "offline": _cmd_offline,
         "report": _cmd_report,

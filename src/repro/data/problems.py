@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.fluid import MACGrid2D, SmokeSource, make_smoke_plume
+from repro.fluid import MACGrid2D, ScenarioSpec, SmokeSource, build_scenario
 
 __all__ = ["InputProblem", "generate_problems", "TRAIN_SEED_BASE", "EVAL_SEED_BASE"]
 
@@ -32,10 +32,15 @@ class InputProblem:
     with_obstacles: bool = True
 
     def materialize(self) -> tuple[MACGrid2D, SmokeSource]:
-        """Build the initial grid and smoke source for this problem."""
-        return make_smoke_plume(
-            self.grid_size, self.grid_size, rng=self.seed, with_obstacles=self.with_obstacles
+        """Build the initial grid and smoke source for this problem.
+
+        Routed through the scenario registry; bit-for-bit identical to the
+        historical direct ``make_smoke_plume`` call for the same seed.
+        """
+        spec = ScenarioSpec(
+            "smoke_plume", grid=self.grid_size, with_obstacles=self.with_obstacles
         )
+        return build_scenario(spec, rng=self.seed)
 
 
 def generate_problems(

@@ -15,6 +15,7 @@ diagnostics and the worker's metrics snapshot.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field
 
 __all__ = ["JobSpec", "JobResult", "SOLVER_CHOICES"]
@@ -32,7 +33,13 @@ class JobSpec:
     job_id:
         Unique identifier within a farm submission.
     grid_size, seed:
-        The :class:`repro.data.InputProblem` this job simulates.
+        Resolution and rng seed of the input problem.
+    scenario:
+        Scenario selector in the canonical ``name[:key=val,...]`` string
+        form of :func:`repro.fluid.parse_scenario` (default
+        ``smoke_plume``, the paper's workload).  The worker materialises it
+        through the scenario registry with ``grid`` defaulted from
+        ``grid_size`` and the rng seeded from ``seed``.
     steps:
         Step budget of the run.
     solver:
@@ -71,6 +78,7 @@ class JobSpec:
     job_id: str
     grid_size: int = 32
     seed: int = 0
+    scenario: str = "smoke_plume"
     steps: int = 16
     solver: str = "pcg"
     solver_params: dict = field(default_factory=dict)
@@ -93,8 +101,30 @@ class JobSpec:
             raise ValueError("checkpoint_every must be >= 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        # validate + canonicalise the scenario string against the registry
+        from repro.fluid.scenarios import get_scenario, parse_scenario
+
+        sspec = parse_scenario(self.scenario)
+        get_scenario(sspec.name)
+        object.__setattr__(self, "scenario", sspec.to_string())
         # frozen dataclass: route around __setattr__ to normalise the dict
         object.__setattr__(self, "solver_params", dict(self.solver_params))
+
+    @property
+    def scenario_spec(self):
+        """The parsed :class:`repro.fluid.ScenarioSpec` of this job."""
+        from repro.fluid.scenarios import parse_scenario
+
+        return parse_scenario(self.scenario)
+
+    @property
+    def checkpoint_key(self) -> str:
+        """Checkpoint-file stem: job id plus the scenario slug.
+
+        Including the scenario keeps a resubmitted job from silently
+        resuming a checkpoint written under a different scenario.
+        """
+        return f"{self.job_id}.{self.scenario_spec.slug}"
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
@@ -102,7 +132,19 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, d: dict) -> "JobSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Dicts persisted before the scenario field existed load through a
+        compat shim (``scenario`` defaults to ``smoke_plume``) with a
+        :class:`DeprecationWarning` asking callers to re-serialise.
+        """
+        if "scenario" not in d:
+            warnings.warn(
+                "JobSpec dict without a 'scenario' field is deprecated; "
+                "re-serialise the spec (defaulting to scenario='smoke_plume')",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return cls(**d)
 
 

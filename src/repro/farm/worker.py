@@ -29,13 +29,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.data import InputProblem
 from repro.fluid import (
     FluidSimulator,
     JacobiSolver,
     MultigridSolver,
     PCGSolver,
+    SimulationConfig,
     SpectralSolver,
+    build_scenario,
+    parse_scenario,
 )
 from repro.metrics import MetricsRegistry
 from repro.trace import get_tracer
@@ -101,7 +103,7 @@ def build_solver(spec: JobSpec, kind: str, metrics: MetricsRegistry):
 def _checkpoint_path(spec: JobSpec, checkpoint_dir: str | Path | None) -> Path | None:
     if checkpoint_dir is None:
         return None
-    return Path(checkpoint_dir) / f"{spec.job_id}.ckpt.npz"
+    return Path(checkpoint_dir) / f"{spec.checkpoint_key}.ckpt.npz"
 
 
 def run_job(
@@ -153,8 +155,12 @@ def run_job(
             on_event(event)
 
     def make_sim(kind: str) -> FluidSimulator:
-        grid, source = InputProblem(spec.grid_size, spec.seed).materialize()
-        return FluidSimulator(grid, factory(spec, kind, m), source, metrics=m)
+        sspec = parse_scenario(spec.scenario).with_defaults(grid=spec.grid_size)
+        grid, driver = build_scenario(sspec, rng=spec.seed)
+        solver = driver.wrap_solver(factory(spec, kind, m))
+        overrides = getattr(driver, "config_overrides", {})
+        config = SimulationConfig(**overrides) if overrides else None
+        return FluidSimulator(grid, solver, driver, config=config, metrics=m)
 
     solver_kind = spec.solver
     with tr.span("job", job_id=spec.job_id, attempt=attempt) as job_span:

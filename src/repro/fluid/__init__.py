@@ -25,7 +25,28 @@ from .geometry import (
     random_obstacles,
 )
 from .projection import PressureSolver, ProjectionInfo, project
-from .scenarios import SmokeSource, make_smoke_plume
+from .levelset import (
+    FreeSurfaceSolver,
+    LevelSetDriver,
+    advect_levelset,
+    reinitialize,
+    signed_distance,
+)
+from .scenarios import (
+    CompositeDriver,
+    MovingSolidDriver,
+    ScenarioDriver,
+    ScenarioInfo,
+    ScenarioParam,
+    ScenarioSpec,
+    SmokeSource,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    make_smoke_plume,
+    parse_scenario,
+    register_scenario,
+)
 from .simulator import (
     FluidSimulator,
     RestartRequested,
@@ -76,6 +97,22 @@ __all__ = [
     "PressureSolver",
     "ProjectionInfo",
     "project",
+    "FreeSurfaceSolver",
+    "LevelSetDriver",
+    "advect_levelset",
+    "reinitialize",
+    "signed_distance",
+    "ScenarioSpec",
+    "ScenarioParam",
+    "ScenarioInfo",
+    "ScenarioDriver",
+    "CompositeDriver",
+    "MovingSolidDriver",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "build_scenario",
+    "parse_scenario",
     "SmokeSource",
     "make_smoke_plume",
     "FluidSimulator",

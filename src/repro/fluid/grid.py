@@ -52,6 +52,10 @@ class MACGrid2D:
     pressure: np.ndarray = field(init=False, repr=False)
     density: np.ndarray = field(init=False, repr=False)
     flags: np.ndarray = field(init=False, repr=False)
+    #: optional cell-centred prescribed solid velocity (moving obstacles);
+    #: ``None`` means every solid is at rest (the historical behaviour)
+    solid_u: np.ndarray | None = field(init=False, repr=False, default=None)
+    solid_v: np.ndarray | None = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.nx < 3 or self.ny < 3:
@@ -107,19 +111,57 @@ class MACGrid2D:
     # ------------------------------------------------------------------
     # boundary conditions
     # ------------------------------------------------------------------
-    def enforce_solid_boundaries(self) -> None:
-        """Zero the normal velocity on every face adjacent to a solid cell.
+    def set_solid_velocity(self, solid_u: np.ndarray, solid_v: np.ndarray) -> None:
+        """Prescribe a cell-centred velocity for (moving) solid cells.
 
-        This is the free-slip solid boundary condition: fluid may slide
-        along a wall but not flow through it.
+        The arrays have the cell-centred shape; values outside solid cells
+        are ignored.  Once set, :meth:`enforce_solid_boundaries` imposes
+        these values on solid-adjacent faces instead of zero, so the
+        projection sees the obstacle's motion as a normal-velocity boundary
+        condition.  Call :meth:`clear_solid_velocity` to return to the
+        resting-solid behaviour.
+        """
+        if solid_u.shape != self.shape or solid_v.shape != self.shape:
+            raise ValueError(
+                f"solid velocity shape {solid_u.shape}/{solid_v.shape} != grid shape {self.shape}"
+            )
+        self.solid_u = np.asarray(solid_u, dtype=np.float64)
+        self.solid_v = np.asarray(solid_v, dtype=np.float64)
+
+    def clear_solid_velocity(self) -> None:
+        """Drop prescribed solid velocities (all solids return to rest)."""
+        self.solid_u = None
+        self.solid_v = None
+
+    def enforce_solid_boundaries(self) -> None:
+        """Impose the normal velocity on every face adjacent to a solid cell.
+
+        Resting solids (the default) zero the normal component — the
+        free-slip solid boundary condition: fluid may slide along a wall
+        but not flow through it.  When a prescribed solid velocity is set
+        (:meth:`set_solid_velocity`), solid-adjacent interior faces take
+        the solid's velocity instead, so moving obstacles push fluid.  The
+        domain border always stays a closed wall.
         """
         solid = self.solid
         # u face (j, i) sits between cells (j, i-1) and (j, i).
-        self.u[:, 1:-1][solid[:, :-1] | solid[:, 1:]] = 0.0
+        u_adj = solid[:, :-1] | solid[:, 1:]
+        if self.solid_u is None:
+            self.u[:, 1:-1][u_adj] = 0.0
+        else:
+            su = self.solid_u
+            face_su = np.where(solid[:, :-1], su[:, :-1], su[:, 1:])
+            self.u[:, 1:-1] = np.where(u_adj, face_su, self.u[:, 1:-1])
         self.u[:, 0] = 0.0
         self.u[:, -1] = 0.0
         # v face (j, i) sits between cells (j-1, i) and (j, i).
-        self.v[1:-1, :][solid[:-1, :] | solid[1:, :]] = 0.0
+        v_adj = solid[:-1, :] | solid[1:, :]
+        if self.solid_v is None:
+            self.v[1:-1, :][v_adj] = 0.0
+        else:
+            sv = self.solid_v
+            face_sv = np.where(solid[:-1, :], sv[:-1, :], sv[1:, :])
+            self.v[1:-1, :] = np.where(v_adj, face_sv, self.v[1:-1, :])
         self.v[0, :] = 0.0
         self.v[-1, :] = 0.0
 
@@ -197,4 +239,8 @@ class MACGrid2D:
         g.pressure = self.pressure.copy()
         g.density = self.density.copy()
         g.flags = self.flags.copy()
+        if self.solid_u is not None:
+            g.solid_u = self.solid_u.copy()
+        if self.solid_v is not None:
+            g.solid_v = self.solid_v.copy()
         return g

@@ -137,7 +137,16 @@ def compute_divnorm(grid: MACGrid2D, weights: np.ndarray) -> float:
 
 
 class FluidSimulator:
-    """Run the smoke-plume simulation with a pluggable pressure solver."""
+    """Run a scenario simulation with a pluggable pressure solver.
+
+    ``source`` is the scenario driver (historically a
+    :class:`~repro.fluid.scenarios.SmokeSource`; any
+    :class:`~repro.fluid.scenarios.ScenarioDriver` works): it acts on the
+    grid at the start of each step and its checkpointable state rides along
+    in :meth:`save_state` under ``scenario/`` keys.  Scenarios with
+    time-varying solid masks (moving obstacles) are supported — the DivNorm
+    weights re-key automatically when the mask changes.
+    """
 
     def __init__(
         self,
@@ -157,6 +166,7 @@ class FluidSimulator:
         self.metrics = metrics
         self.tracer = tracer
         self.weights = divnorm_weights(grid.solid, self.config.divnorm_k)
+        self._weights_key = grid.solid.tobytes()
         self.records: list[StepRecord] = []
         self._step = 0
         #: typed step-event stream of the whole trajectory (always recorded;
@@ -167,6 +177,18 @@ class FluidSimulator:
 
     def _tracer(self) -> Tracer:
         return self.tracer if self.tracer is not None else get_tracer()
+
+    def _refresh_weights(self) -> None:
+        """Recompute DivNorm weights when the solid mask has changed.
+
+        Moving-obstacle scenarios rewrite the flags every step; the weights
+        (distance-to-solid based, Eq. 5) must track them.  Static scenarios
+        pay only a cheap ``tobytes`` comparison.
+        """
+        key = self.grid.solid.tobytes()
+        if key != self._weights_key:
+            self._weights_key = key
+            self.weights = divnorm_weights(self.grid.solid, self.config.divnorm_k)
 
     def step(self) -> StepRecord:
         """Advance the simulation by one time step."""
@@ -191,6 +213,7 @@ class FluidSimulator:
                 if cfg.vorticity_eps > 0:
                     add_vorticity_confinement(g, cfg.dt, cfg.vorticity_eps)
             info = project(g, self.solver, cfg.dt, cfg.rho, metrics=m, tracer=tr)
+            self._refresh_weights()
             divnorm = compute_divnorm(g, self.weights)
             rec = StepRecord(
                 step=self._step,
@@ -308,7 +331,7 @@ class FluidSimulator:
         ``np.savez``-compatible; see :mod:`repro.farm.checkpoint`.
         """
         g = self.grid
-        return {
+        state = {
             "step": np.asarray(self._step, dtype=np.int64),
             "dx": np.asarray(g.dx, dtype=np.float64),
             "u": g.u.copy(),
@@ -321,6 +344,12 @@ class FluidSimulator:
                 json.dumps([e.to_dict() for e in self.timeline])
             ),
         }
+        # scenario drivers (level sets, moving solids) ride along under
+        # namespaced keys so free-surface/moving-obstacle jobs resume exactly
+        if self.source is not None and hasattr(self.source, "state_arrays"):
+            for key, value in self.source.state_arrays().items():
+                state[f"scenario/{key}"] = value
+        return state
 
     def load_state(self, state: dict[str, np.ndarray]) -> None:
         """Restore a :meth:`save_state` snapshot onto this simulator.
@@ -346,6 +375,12 @@ class FluidSimulator:
         g.flags = np.asarray(state["flags"]).astype(g.flags.dtype).copy()
         g.dx = float(state["dx"])
         self.weights = divnorm_weights(g.solid, self.config.divnorm_k)
+        self._weights_key = g.solid.tobytes()
+        scenario = {
+            k[len("scenario/"):]: v for k, v in state.items() if k.startswith("scenario/")
+        }
+        if scenario and self.source is not None and hasattr(self.source, "load_state_arrays"):
+            self.source.load_state_arrays(scenario)
         self._step = int(state["step"])
         self.records = []
         self._segment_start = self._step

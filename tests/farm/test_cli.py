@@ -61,6 +61,42 @@ class TestFarmCLI:
         assert "2/2 jobs completed" in out
         assert "degraded->pcg" in out
 
+    def test_dam_break_fleet_with_checkpoint_resume(self, capsys, tmp_path):
+        # acceptance criteria: a free-surface fleet runs end-to-end on the
+        # process pool, surviving an injected crash via checkpoint resume
+        code = main(
+            [
+                "farm",
+                "--scenario", "dam_break:grid=16",
+                "--steps", "3",
+                "--jobs", "4",
+                "--workers", "2",
+                "--checkpoint-every", "1",
+                "--checkpoint-dir", str(tmp_path),
+                "--inject-failure", "1",
+                "--retries", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 jobs completed" in out
+        assert list(tmp_path.glob("*.dam_break-*.ckpt.npz"))
+
+    def test_scenario_flag_propagates_to_json_report(self, capsys):
+        code = main(
+            [
+                "farm",
+                "--scenario", "moving_cylinder:grid=16",
+                "--steps", "2",
+                "--jobs", "2",
+                "--backend", "serial",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] == 2
+
     def test_batched_backend_with_nn_jobs(self, capsys):
         code = main(
             [

@@ -1,0 +1,191 @@
+"""Level-set machinery: signed distance, advection, free-surface solve."""
+
+import numpy as np
+import pytest
+
+from repro.fluid import (
+    FluidSimulator,
+    FreeSurfaceSolver,
+    LevelSetDriver,
+    MACGrid2D,
+    PCGSolver,
+    SimulationConfig,
+    advect_levelset,
+    build_scenario,
+    divergence,
+    reinitialize,
+    signed_distance,
+)
+from repro.metrics import MetricsRegistry
+
+
+def free_surface_sim(selector, rng=0):
+    grid, driver = build_scenario(selector, rng=rng)
+    solver = driver.wrap_solver(PCGSolver())
+    config = SimulationConfig(**driver.config_overrides)
+    return FluidSimulator(grid, solver, driver, config=config), driver
+
+
+class TestSignedDistance:
+    def test_sign_convention_and_half_cell_offset(self):
+        liquid = np.zeros((8, 8), dtype=bool)
+        liquid[3:5, 3:5] = True
+        phi = signed_distance(liquid)
+        assert (phi[liquid] < 0).all()
+        assert (phi[~liquid] > 0).all()
+        # cells touching the interface sit half a cell from it on each side
+        assert phi[3, 3] == -0.5
+        assert phi[3, 2] == 0.5
+
+    def test_scales_with_dx(self):
+        liquid = np.zeros((8, 8), dtype=bool)
+        liquid[2:6, 2:6] = True
+        np.testing.assert_allclose(signed_distance(liquid, dx=0.25), signed_distance(liquid) * 0.25)
+
+    def test_reinitialize_preserves_zero_level(self):
+        liquid = np.zeros((10, 10), dtype=bool)
+        liquid[4:8, 2:7] = True
+        phi = signed_distance(liquid)
+        distorted = phi * np.linspace(0.5, 3.0, 100).reshape(10, 10)
+        np.testing.assert_array_equal(reinitialize(distorted) < 0, liquid)
+
+
+class TestAdvectLevelset:
+    def test_uniform_flow_translates_interface(self):
+        g = MACGrid2D(16, 16)
+        liquid = np.zeros((16, 16), dtype=bool)
+        liquid[6:10, 2:6] = True
+        phi = signed_distance(liquid, dx=g.dx)
+        g.u[:, :] = 1.0  # uniform rightward flow, one cell per dt=dx
+        moved = advect_levelset(g, phi, dt=g.dx)
+        expected = np.zeros_like(liquid)
+        expected[6:10, 3:7] = True
+        np.testing.assert_array_equal(moved[:, 1:-1] < 0, expected[:, 1:-1])
+
+
+class TestDamBreak:
+    def test_mass_conservation_sanity(self):
+        # semi-Lagrangian level sets are not conservative; the redistancing
+        # keeps the drift bounded — gate it loosely over 8 steps
+        sim, driver = free_surface_sim("dam_break:grid=32")
+        initial = int(((driver.phi < 0) & ~driver.base_solid).sum())
+        sim.run(8)
+        final = int(((driver.phi < 0) & ~driver.base_solid).sum())
+        assert 0.75 * initial <= final <= 1.25 * initial
+
+    def test_column_collapses_and_spreads(self):
+        sim, driver = free_surface_sim("dam_break:grid=32")
+        liquid0 = (driver.phi < 0) & ~driver.base_solid
+        sim.run(8)
+        liquid = (driver.phi < 0) & ~driver.base_solid
+        heights0 = liquid0.sum(axis=0)
+        heights = liquid.sum(axis=0)
+        # the column loses height while the front runs along the floor
+        assert heights.max() < heights0.max()
+        assert (heights > 0).sum() > (heights0 > 0).sum()
+
+    def test_projection_kills_liquid_divergence(self):
+        sim, driver = free_surface_sim("dam_break:grid=24")
+        sim.run(4)
+        liquid = (driver.phi < 0) & ~driver.base_solid
+        div = divergence(sim.grid)
+        assert np.abs(div[liquid]).max() < 1e-8
+
+    def test_density_renders_occupancy(self):
+        sim, driver = free_surface_sim("dam_break:grid=24")
+        sim.run(2)
+        liquid = (driver.phi < 0) & ~driver.base_solid
+        np.testing.assert_array_equal(sim.grid.density > 0.5, liquid)
+
+
+class TestSloshingTank:
+    def test_builds_and_runs_finite(self):
+        sim, driver = free_surface_sim("sloshing_tank:grid=24")
+        result = sim.run(6)
+        assert all(np.isfinite(r.divnorm) for r in result.records)
+        assert ((driver.phi < 0) & ~driver.base_solid).any()
+
+    def test_tilted_surface_relaxes(self):
+        sim, driver = free_surface_sim("sloshing_tank:grid=32")
+
+        def tilt_range(phi):
+            liquid = (phi < 0) & ~driver.base_solid
+            heights = liquid.sum(axis=0)[1:-1]
+            return heights.max() - heights.min()
+
+        before = tilt_range(driver.phi)
+        sim.run(8)
+        assert tilt_range(driver.phi) < before
+
+
+class TestFreeSurfaceSolver:
+    def test_air_pressure_is_zero(self):
+        sim, driver = free_surface_sim("dam_break:grid=24")
+        sim.run(3)
+        air = (driver.phi >= 0) & ~sim.grid.solid
+        assert np.abs(sim.grid.pressure[air]).max() == 0.0
+
+    def test_no_liquid_returns_zero_solve(self):
+        g = MACGrid2D(8, 8)
+        driver = LevelSetDriver(np.ones((8, 8)), g.solid.copy())
+        solver = FreeSurfaceSolver(driver)
+        res = solver.solve(np.ones((8, 8)), g.solid)
+        assert res.converged
+        assert not res.pressure.any()
+
+    def test_enclosed_liquid_is_grounded(self):
+        # liquid filling the whole box: no air contact anywhere, the pure
+        # Neumann system is singular unless a cell is pinned
+        g = MACGrid2D(8, 8)
+        driver = LevelSetDriver(-np.ones((8, 8)), g.solid.copy())
+        solver = FreeSurfaceSolver(driver)
+        rng = np.random.default_rng(0)
+        b = np.where(~g.solid, rng.standard_normal((8, 8)), 0.0)
+        res = solver.solve(b, g.solid)
+        assert res.converged
+        assert np.isfinite(res.pressure).all()
+        assert np.isfinite(res.residual_norm)
+
+    def test_settled_interface_caches_factorization(self):
+        m = MetricsRegistry()
+        g = MACGrid2D(12, 12)
+        liquid = np.zeros((12, 12), dtype=bool)
+        liquid[7:11, 1:11] = True
+        driver = LevelSetDriver(signed_distance(liquid), g.solid.copy())
+        solver = FreeSurfaceSolver(driver, metrics=m)
+        b = np.where(liquid, 1.0, 0.0)
+        solver.solve(b, g.solid)
+        solver.solve(b, g.solid)
+        counters = m.to_dict()["counters"]
+        assert counters["cache/free_surface/miss"] == 1.0
+        assert counters["cache/free_surface/hit"] == 1.0
+
+    def test_reset_drops_cache(self):
+        m = MetricsRegistry()
+        g = MACGrid2D(10, 10)
+        liquid = np.zeros((10, 10), dtype=bool)
+        liquid[6:9, 1:9] = True
+        driver = LevelSetDriver(signed_distance(liquid), g.solid.copy())
+        solver = FreeSurfaceSolver(driver, metrics=m)
+        b = np.where(liquid, 1.0, 0.0)
+        solver.solve(b, g.solid)
+        solver.reset()
+        solver.solve(b, g.solid)
+        assert m.to_dict()["counters"]["cache/free_surface/miss"] == 2.0
+
+
+class TestDriverState:
+    def test_state_round_trip(self):
+        _, driver = free_surface_sim("dam_break:grid=16")
+        state = {k: v.copy() for k, v in driver.state_arrays().items()}
+        driver.phi += 3.0
+        driver._applies = 42
+        driver.load_state_arrays(state)
+        np.testing.assert_array_equal(driver.phi, state["phi"])
+        assert driver._applies == int(state["applies"])
+
+    def test_reinit_cadence_respected(self):
+        g, driver = build_scenario("dam_break:grid=16,reinit_every=2", rng=0)
+        assert driver.reinit_every == 2
+        g2, driver2 = build_scenario("dam_break:grid=16,reinit_every=0", rng=0)
+        assert driver2.reinit_every == 0  # never redistances

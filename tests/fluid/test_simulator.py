@@ -33,7 +33,9 @@ class TestSmokePlumeScenario:
         assert g.density.sum() > 0
 
     def test_no_obstacles_option(self):
-        g, _ = make_smoke_plume(24, 24, rng=0, with_obstacles=False)
+        from repro.fluid import ScenarioSpec, build_scenario
+
+        g, _ = build_scenario(ScenarioSpec("smoke_plume", grid=24, with_obstacles=False), rng=0)
         assert g.fluid[1:-1, 1:-1].all()
 
     def test_source_apply_caps_density(self):

@@ -17,6 +17,7 @@ EXPECTED_BENCHMARKS = {
     "farm_throughput",
     "perf_kernels",
     "tracing_overhead",
+    "scenario_sweep",
 }
 
 
@@ -100,6 +101,26 @@ class TestRunBench:
         # best interleaved pair at 1.05, here we only sanity-bound it
         assert 0.5 < tracing["overhead_ratio_best"] <= tracing["overhead_ratio"]
         assert tracing["overhead_ratio"] < 2.0
+
+    def test_scenario_sweep_covers_registry(self, ci_report):
+        from repro.fluid import list_scenarios
+
+        sweep = next(
+            b for b in ci_report["benchmarks"] if b["name"] == "scenario_sweep"
+        )
+        names = {r["scenario"].split(":")[0] for r in sweep["scenarios"]}
+        assert names == {info.name for info in list_scenarios()}
+        assert all(r["seconds"] > 0 for r in sweep["scenarios"])
+        import math
+
+        assert all(math.isfinite(r["final_divnorm"]) for r in sweep["scenarios"])
+
+    def test_scenario_sweep_restricts_to_one(self):
+        from repro.benchmark import _bench_scenario_sweep
+
+        sweep = _bench_scenario_sweep(SCALES["smoke"], scenario="dam_break:grid=16")
+        assert len(sweep["scenarios"]) == 1
+        assert sweep["scenarios"][0]["scenario"] == "dam_break:grid=16"
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):

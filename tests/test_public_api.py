@@ -34,7 +34,7 @@ def test_module_docstrings(package):
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_top_level_framework_importable():
@@ -54,6 +54,28 @@ def test_facade_exports_solvers_and_metrics():
     assert issubclass(repro.NNProjectionSolver, repro.PressureSolver)
     assert repro.metrics.MetricsRegistry is repro.MetricsRegistry
     assert repro.get_metrics() is repro.metrics.get_metrics()
+
+
+def test_facade_exports_scenario_registry():
+    import repro
+    from repro.fluid import build_scenario, list_scenarios
+
+    assert repro.build_scenario is build_scenario
+    assert repro.list_scenarios is list_scenarios
+    names = {info.name for info in repro.list_scenarios()}
+    assert len(names) >= 5
+    assert "smoke_plume" in names
+    spec = repro.parse_scenario("dam_break:grid=16")
+    assert spec == repro.ScenarioSpec("dam_break", grid=16)
+
+
+def test_make_smoke_plume_keyword_sprawl_deprecated():
+    from repro.fluid import make_smoke_plume
+
+    # plain positional/rng use stays silent; the sprawl keywords warn
+    make_smoke_plume(16, 16, rng=0)
+    with pytest.warns(DeprecationWarning, match="build_scenario"):
+        make_smoke_plume(16, 16, rng=0, with_obstacles=False)
 
 
 def test_deprecation_shim_resolves_moved_names():

@@ -167,6 +167,45 @@ class TestCLI:
         assert payload["config"]["warm_start"] is True
         assert main(["simulate", "--grid", "16", "--steps", "1", "--solver", "jacobi"]) == 0
 
+    def test_simulate_scenario_flag(self, capsys):
+        # acceptance criteria: moving-obstacle scenario end-to-end via CLI
+        code = main(
+            ["simulate", "--scenario", "moving_cylinder:grid=16", "--steps", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["scenario"] == "moving_cylinder:grid=16"
+        assert payload["config"]["grid"] == 16  # scenario param wins over --grid
+        assert all(step["converged"] for step in payload["steps"])
+
+    def test_simulate_free_surface_scenario(self, capsys):
+        code = main(
+            ["simulate", "--scenario", "dam_break", "--grid", "16", "--steps", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["steps"][0]["solver"] == "free-surface"
+
+    def test_scenarios_command_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        from repro.fluid import list_scenarios
+
+        assert len(list_scenarios()) >= 5
+        for info in list_scenarios():
+            assert info.name in out
+        assert "grid" in out  # per-scenario parameter docs are printed
+
+    def test_scenarios_command_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) >= 5
+        assert all("params" in entry for entry in payload)
+
+    def test_unknown_scenario_errors_cleanly(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main(["simulate", "--scenario", "warp_drive", "--steps", "1"])
+
     def test_shared_parent_parser_arguments(self):
         parser = build_parser()
         for command, extra in (
