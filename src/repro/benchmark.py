@@ -52,6 +52,13 @@ Benchmarks
     jets, moving solids, Kármán street, free-surface liquids).  A liveness
     gate: any crash fails the suite; per-scenario seconds and final
     DivNorm are recorded.
+``service_throughput``
+    The :mod:`repro.serve` tier end to end: a pinned 6-job fleet submitted
+    cold (every job simulated on the autoscaled pool) vs. resubmitted warm
+    (every job answered from the content-addressed result cache).  The
+    workload is fixed across scales (only the warm repeat count varies);
+    ``all_warm_cached`` certifies that no warm job re-simulated, and
+    ``cache_speedup`` is the headline cost of *not* having the cache.
 
 Scales
 ------
@@ -75,7 +82,7 @@ __all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
 
 SCHEMA = "repro-bench/v1"
 #: tag of the BENCH_<tag>.json this PR emits
-DEFAULT_TAG = "pr6"
+DEFAULT_TAG = "pr7"
 
 
 @dataclass(frozen=True)
@@ -489,6 +496,89 @@ def _bench_scenario_sweep(scale: BenchScale, seed: int = 0, scenario: str | None
     }
 
 
+def _bench_service_throughput(
+    scale: BenchScale, seed: int = 0, grid: int = 32, steps: int = 4, n_jobs: int = 6
+) -> dict:
+    """Cold (simulated) vs. warm (cache-served) submissions to the service.
+
+    The workload is *pinned* across scales — a 6-job, 32x32, 4-step fleet —
+    so the cold/warm numbers are comparable between the committed baseline
+    and CI smoke runs; only the warm repeat count follows the scale.  Cold
+    runs once against an empty cache (each further rep would itself be a
+    cache hit); the warm path resubmits the same semantic specs under fresh
+    job ids ``reps`` times and takes the min.
+    """
+    import asyncio
+    import os
+    import tempfile
+
+    from repro.farm import JobSpec
+    from repro.metrics import MetricsRegistry
+    from repro.serve import SimulationService, TenantQuota
+
+    reps = max(2, scale.solve_reps)
+    workers = min(4, os.cpu_count() or 1)
+
+    def specs(tag: str) -> list[JobSpec]:
+        return [
+            JobSpec(job_id=f"{tag}-{i}", grid_size=grid, seed=seed + i, steps=steps)
+            for i in range(n_jobs)
+        ]
+
+    async def run():
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            service = SimulationService(
+                cache_dir=os.path.join(tmp, "cache"),
+                checkpoint_dir=os.path.join(tmp, "ckpt"),
+                min_workers=1,
+                max_workers=workers,
+                default_quota=TenantQuota(rate=None, burst=64, max_pending=None),
+                metrics=MetricsRegistry(),
+            )
+            await service.start()
+
+            async def submit_and_wait(tag: str) -> tuple[float, list]:
+                t0 = time.perf_counter()
+                batch = specs(tag)
+                for s in batch:
+                    service.submit(s, tenant="bench")
+                results = await asyncio.gather(
+                    *(service.result(s.job_id, timeout=300.0) for s in batch)
+                )
+                return time.perf_counter() - t0, results
+
+            cold_seconds, cold_results = await submit_and_wait("cold")
+            warm_times, all_cached = [], True
+            for r in range(reps):
+                seconds, results = await submit_and_wait(f"warm{r}")
+                warm_times.append(seconds)
+                all_cached = all_cached and all(res.cached for res in results)
+            stats = service.stats()
+            await service.stop(drain=True, timeout=60.0)
+            return cold_seconds, cold_results, min(warm_times), all_cached, stats
+
+    cold, cold_results, warm, all_cached, stats = asyncio.run(run())
+    return {
+        "name": "service_throughput",
+        "params": {
+            "grid": grid,
+            "steps": steps,
+            "jobs": n_jobs,
+            "workers": workers,
+            "warm_reps": reps,
+            "seed": seed,
+        },
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "cold_jobs_per_second": n_jobs / cold if cold > 0 else float("inf"),
+        "warm_jobs_per_second": n_jobs / warm if warm > 0 else float("inf"),
+        "cache_speedup": cold / warm if warm > 0 else float("inf"),
+        "cold_completed": sum(1 for r in cold_results if r.ok),
+        "all_warm_cached": all_cached,
+        "cache_stats": stats["cache"],
+    }
+
+
 def run_bench(scale: str = "default", seed: int = 0, scenario: str | None = None) -> dict:
     """Run the whole suite at one scale and return the report dict.
 
@@ -507,6 +597,7 @@ def run_bench(scale: str = "default", seed: int = 0, scenario: str | None = None
         _bench_perf_kernels(s, seed),
         _bench_tracing_overhead(s, seed),
         _bench_scenario_sweep(s, seed, scenario),
+        _bench_service_throughput(s, seed),
     ]
     return {
         "schema": SCHEMA,

@@ -11,6 +11,8 @@ Commands
 ``bench``        run the performance suite and write ``BENCH_<tag>.json``
 ``farm``         run a fleet of simulation jobs on the concurrent farm
 ``top``          run a farm fleet with a live terminal status view
+``serve``        run the simulation service on a local unix socket
+``submit``       submit one job to a running service and await the result
 ``trace``        summarise or dump a trace file written by ``--trace``
 
 ``simulate``, ``farm``, ``top`` and ``bench`` share one ``--scenario``
@@ -224,6 +226,73 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--interval", type=float, default=0.5,
         help="live view repaint interval in seconds",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        parents=[tracing],
+        help="run the simulation service on a local unix socket",
+    )
+    srv.add_argument(
+        "--socket", type=str, default="repro-serve.sock",
+        help="unix socket path the service listens on",
+    )
+    srv.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="content-addressed result-cache directory (default: disabled)",
+    )
+    srv.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="LRU capacity of the result cache",
+    )
+    srv.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="job checkpoint directory (orphan .tmp files swept at startup)",
+    )
+    srv.add_argument("--min-workers", type=int, default=1, help="autoscaler floor")
+    srv.add_argument("--max-workers", type=int, default=4, help="autoscaler ceiling")
+    srv.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant sustained submissions/second (default: unlimited)",
+    )
+    srv.add_argument("--burst", type=float, default=8, help="per-tenant burst allowance")
+    srv.add_argument(
+        "--max-pending", type=int, default=16,
+        help="per-tenant cap on admitted-but-unfinished jobs",
+    )
+    srv.add_argument(
+        "--drain-timeout", type=float, default=None,
+        help="seconds to wait for in-flight jobs at shutdown (default: unbounded)",
+    )
+
+    sbm = sub.add_parser(
+        "submit",
+        parents=[problem, scenario, stepping],
+        help="submit one job to a running service and await the result",
+    )
+    sbm.add_argument(
+        "--socket", type=str, default="repro-serve.sock",
+        help="unix socket path of the running service",
+    )
+    sbm.add_argument(
+        "--solver",
+        choices=["pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn"],
+        default="pcg",
+    )
+    sbm.add_argument("--job-id", type=str, default=None, help="job id (default: generated)")
+    sbm.add_argument("--tenant", type=str, default="default", help="tenant the job bills to")
+    sbm.add_argument(
+        "--priority", type=int, default=1, help="queue priority (lower runs first)"
+    )
+    sbm.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's live telemetry events while it runs",
+    )
+    sbm.add_argument(
+        "--timeout", type=float, default=None, help="seconds to wait for the result"
+    )
+    sbm.add_argument(
+        "--json", action="store_true", help="emit the full JobResult as JSON"
     )
 
     trc = sub.add_parser(
@@ -606,6 +675,110 @@ def _cmd_top(args) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from repro.serve import ServiceServer, SimulationService, TenantQuota
+
+    async def run() -> int:
+        service = SimulationService(
+            cache_dir=args.cache_dir,
+            cache_entries=args.cache_entries,
+            checkpoint_dir=args.checkpoint_dir,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            default_quota=TenantQuota(
+                rate=args.rate, burst=args.burst, max_pending=args.max_pending
+            ),
+        )
+        await service.start()
+        server = ServiceServer(service, args.socket)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        print(
+            f"serving on {args.socket} "
+            f"(workers {args.min_workers}..{args.max_workers}, "
+            f"cache {'off' if args.cache_dir is None else args.cache_dir})",
+            file=sys.stderr,
+        )
+        await stop.wait()
+        # graceful shutdown: stop accepting, drain in-flight jobs, persist
+        # the cache index (service.stop flushes it)
+        print("shutting down: draining in-flight jobs", file=sys.stderr)
+        await server.stop()
+        drained = await service.stop(drain=True, timeout=args.drain_timeout)
+        try:
+            os.unlink(args.socket)
+        except OSError:
+            pass
+        print("drained" if drained else "drain timed out", file=sys.stderr)
+        return 0 if drained else 1
+
+    with _TraceRecorder(args.trace):
+        return asyncio.run(run())
+
+
+def _cmd_submit(args) -> int:
+    import asyncio
+    import os
+
+    from repro.farm import JobSpec
+    from repro.fluid import parse_scenario
+    from repro.serve import ServeError, ServiceClient
+
+    sspec = parse_scenario(args.scenario)
+    job_id = args.job_id or f"cli-{os.getpid()}-{time.monotonic_ns() % 1_000_000}"
+    spec = JobSpec(
+        job_id=job_id,
+        grid_size=int(sspec.get("grid", args.grid)),
+        seed=args.seed,
+        scenario=sspec.to_string(),
+        steps=args.steps,
+        solver=args.solver,
+    )
+
+    async def run() -> int:
+        async with await ServiceClient.open(args.socket) as client:
+            job = await client.submit(spec, tenant=args.tenant, priority=args.priority)
+            if not args.json:
+                print(
+                    f"{job['job_id']}: {job['status']}"
+                    + (" (cache hit)" if job["cached"] else "")
+                )
+            if args.watch and job["status"] not in ("completed", "failed", "cancelled"):
+                async with await ServiceClient.open(args.socket) as watcher:
+                    async for event in watcher.watch(job["job_id"]):
+                        etype = event.get("type", "?")
+                        step = event.get("step")
+                        at = f" step {step}" if step is not None else ""
+                        print(f"  {etype}{at}", file=sys.stderr)
+            result = await client.result(job["job_id"], timeout=args.timeout)
+            if args.json:
+                print(json.dumps(result.to_dict(), indent=2))
+            else:
+                note = " (cached)" if result.cached else ""
+                print(
+                    f"{result.job_id}: {result.status}{note} "
+                    f"({result.steps_done}/{args.steps} steps, {result.solver_used}, "
+                    f"{result.wall_seconds:.2f}s)"
+                )
+            return 0 if result.ok else 1
+
+    try:
+        return asyncio.run(run())
+    except ServeError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(f"error: no service listening on {args.socket}", file=sys.stderr)
+        return 2
+
+
 def _cmd_trace(args) -> int:
     from repro.trace import format_summary, read_trace
 
@@ -642,6 +815,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "farm": _cmd_farm,
         "top": _cmd_top,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "trace": _cmd_trace,
     }[args.command](args)
 

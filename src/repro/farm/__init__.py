@@ -11,9 +11,9 @@ passes.  Entry points: build a list of :class:`JobSpec`, hand it to
 """
 
 from .batching import BatchedInferenceService, BatchingSolverProxy
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import load_checkpoint, save_checkpoint, sweep_orphans
 from .jobs import JobResult, JobSpec, SOLVER_CHOICES
-from .pool import BACKENDS, FarmReport, SimulationFarm
+from .pool import BACKENDS, FarmReport, Pool, SimulationFarm
 from .telemetry import FleetView, JobView, LiveRenderer, render_fleet
 from .worker import InjectedWorkerFailure, SimulationDiverged, build_solver, run_job
 
@@ -23,7 +23,9 @@ __all__ = [
     "SOLVER_CHOICES",
     "SimulationFarm",
     "FarmReport",
+    "Pool",
     "BACKENDS",
+    "sweep_orphans",
     "run_job",
     "build_solver",
     "InjectedWorkerFailure",

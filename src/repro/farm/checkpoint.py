@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.fluid.simulator import FluidSimulator
 
-__all__ = ["CHECKPOINT_VERSION", "save_checkpoint", "load_checkpoint", "checkpoint_step"]
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_step",
+    "sweep_orphans",
+]
 
 #: format version written into every checkpoint file
 CHECKPOINT_VERSION = 1
@@ -42,6 +48,29 @@ def save_checkpoint(sim: FluidSimulator, path: str | Path) -> Path:
         tmp.unlink(missing_ok=True)
         raise
     return path
+
+
+def sweep_orphans(checkpoint_dir: str | Path) -> list[Path]:
+    """Remove orphaned ``*.ckpt.npz.tmp`` files left by killed workers.
+
+    :func:`save_checkpoint` unlinks its temp file when the *write* fails,
+    but a worker hard-killed mid-write (OOM, ``kill -9``, the farm's own
+    timeout escalation) leaves the torn temp behind.  The rename-last
+    protocol means such a file is never a valid checkpoint, so it is always
+    safe to delete — call this when a farm, pool or service starts up,
+    before any worker is running.  Returns the paths removed.
+    """
+    removed: list[Path] = []
+    root = Path(checkpoint_dir)
+    if not root.is_dir():
+        return removed
+    for tmp in sorted(root.glob("*.ckpt.npz.tmp")):
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - raced or permission-denied
+            continue
+        removed.append(tmp)
+    return removed
 
 
 def load_checkpoint(path: str | Path) -> dict[str, np.ndarray]:

@@ -15,10 +15,17 @@ diagnostics and the worker's metrics snapshot.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["JobSpec", "JobResult", "SOLVER_CHOICES"]
+__all__ = ["JobSpec", "JobResult", "SOLVER_CHOICES", "CACHE_KEY_VERSION"]
+
+#: version field folded into every :meth:`JobSpec.cache_key`; bump it when
+#: the semantic-field set or the canonicalisation changes, so stale cache
+#: entries and checkpoints can never be mistaken for current ones
+CACHE_KEY_VERSION = 1
 
 #: solver identifiers a JobSpec may request
 SOLVER_CHOICES = ("pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn")
@@ -117,14 +124,67 @@ class JobSpec:
 
         return parse_scenario(self.scenario)
 
+    def _semantic_payload(self, with_steps: bool) -> dict:
+        """The canonical document behind :meth:`cache_key`/:attr:`state_key`.
+
+        Only fields that determine what the simulation *computes* appear;
+        ``job_id``, checkpointing cadence/paths, timeouts, retry budgets
+        and fault injection change how a job runs, never its output, and
+        are deliberately excluded.
+        """
+        payload = {
+            "v": CACHE_KEY_VERSION,
+            "scenario": self.scenario,
+            "grid_size": self.grid_size,
+            "seed": self.seed,
+            "solver": self.solver,
+            "solver_params": self.solver_params,
+            "model_dir": self.model_dir,
+            "divnorm_limit": self.divnorm_limit,
+        }
+        if with_steps:
+            payload["steps"] = self.steps
+        return payload
+
+    def _digest(self, with_steps: bool) -> str:
+        canonical = json.dumps(
+            self._semantic_payload(with_steps), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def cache_key(self) -> str:
+        """Deterministic content address of this job's *result* identity.
+
+        The SHA-256 hex digest of a canonical JSON document over the fields
+        that determine the simulation's output — scenario, grid size, seed,
+        step budget, solver + parameters, model weights directory and the
+        DivNorm requirement — so two specs with equal keys produce
+        bit-identical results.  The serve tier's result cache
+        (:mod:`repro.serve.cache`) is addressed by this key.
+        """
+        return self._digest(with_steps=True)
+
+    @property
+    def state_key(self) -> str:
+        """Content address of the job's *trajectory* identity.
+
+        Same canonicalisation as :meth:`cache_key` minus the step budget: a
+        checkpoint is a prefix of a trajectory, so it stays valid when the
+        same run is resubmitted with a larger ``steps`` — while any change
+        to the dynamics (scenario, seed, solver, requirement) re-keys it.
+        """
+        return self._digest(with_steps=False)
+
     @property
     def checkpoint_key(self) -> str:
-        """Checkpoint-file stem: job id plus the scenario slug.
+        """Checkpoint-file stem: job id, scenario slug, trajectory-key prefix.
 
-        Including the scenario keeps a resubmitted job from silently
-        resuming a checkpoint written under a different scenario.
+        The scenario slug keeps the name human-readable; the
+        :attr:`state_key` prefix keeps a reused job id from silently
+        resuming a checkpoint written under *any* different dynamics
+        (other solver, seed, requirement — not just another scenario).
         """
-        return f"{self.job_id}.{self.scenario_spec.slug}"
+        return f"{self.job_id}.{self.scenario_spec.slug}.{self.state_key[:8]}"
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (inverse of :meth:`from_dict`)."""
@@ -153,7 +213,7 @@ class JobResult:
     """Outcome of one job as reported by the worker that finished it."""
 
     job_id: str
-    status: str  # "completed" | "failed"
+    status: str  # "completed" | "failed" | "cancelled"
     steps_done: int = 0
     solver_used: str = ""
     degraded: bool = False
@@ -164,6 +224,9 @@ class JobResult:
     final_divnorm: float = float("nan")
     cum_divnorm: float = 0.0
     error: str | None = None
+    #: True when this result was served from a content-addressed result
+    #: cache (:mod:`repro.serve`) instead of being re-simulated
+    cached: bool = False
     metrics: dict = field(default_factory=dict)
     #: tracer snapshot (:meth:`repro.trace.Tracer.to_dict`) when the farm
     #: ran with tracing enabled; empty dict otherwise

@@ -42,11 +42,12 @@ from typing import Sequence
 from repro.metrics import MetricsRegistry, set_metrics
 from repro.trace import Tracer, set_tracer
 
+from .checkpoint import sweep_orphans
 from .jobs import JobResult, JobSpec
 from .telemetry import FleetView
 from .worker import _WORKER_ENV, build_solver, run_job
 
-__all__ = ["FarmReport", "SimulationFarm", "BACKENDS"]
+__all__ = ["FarmReport", "SimulationFarm", "Pool", "BACKENDS"]
 
 BACKENDS = ("process", "batched", "serial")
 
@@ -229,6 +230,11 @@ class SimulationFarm:
         if ckpt_dir is None:
             tmp = tempfile.TemporaryDirectory(prefix="repro-farm-")
             ckpt_dir = tmp.name
+        # no worker is running yet, so every leftover ``.tmp`` is a torn
+        # write from an earlier (killed) run — sweep before dispatching
+        swept = sweep_orphans(ckpt_dir)
+        if swept:
+            self.metrics.inc("farm/orphan_checkpoints_swept", len(swept))
         try:
             runner = {
                 "process": self._run_process,
@@ -468,3 +474,254 @@ class SimulationFarm:
         finally:
             set_tracer(previous)
         return [r for r in results if r is not None]
+
+
+# ----------------------------------------------------------------------
+# the long-lived pool behind the serve tier
+# ----------------------------------------------------------------------
+class Pool:
+    """A long-lived, *resizable* worker pool executing farm jobs.
+
+    Where :class:`SimulationFarm` is batch-shaped (run one job list, exit),
+    a :class:`Pool` stays up for the lifetime of a service: jobs arrive one
+    at a time through :meth:`submit` into a priority queue, a fleet of
+    worker threads pulls them through :func:`~repro.farm.worker.run_job`,
+    and finished :class:`~repro.farm.jobs.JobResult`\\ s are delivered to
+    the ``on_result`` callback (from the worker thread that produced them).
+
+    The pool is the autoscaling substrate of :mod:`repro.serve`:
+
+    * :meth:`resize` *grows* by spawning threads immediately and *shrinks*
+      by draining — excess workers finish their current job and exit at
+      the next job boundary; a busy worker is **never** killed mid-job.
+    * :meth:`cancel` removes a queued job without running it, or sets the
+      cooperative cancel flag of a running one (honoured by ``run_job`` at
+      its next step boundary).
+    * in-run failures degrade gracefully inside ``run_job`` exactly as on
+      the farm; a harness-level exception becomes a ``failed`` result
+      rather than a dead worker.
+
+    All public methods are thread-safe; callbacks run on worker threads
+    and must be thread-safe themselves.
+    """
+
+    _SENTINEL_PRIORITY = 1 << 30  # wake-up tokens sort after every real job
+
+    def __init__(
+        self,
+        workers: int = 1,
+        checkpoint_dir: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
+        on_event=None,
+        on_result=None,
+        heartbeat_seconds: float = 0.5,
+        poll_seconds: float = 0.05,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir is not None else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.on_event = on_event
+        self.on_result = on_result
+        self.heartbeat_seconds = heartbeat_seconds
+        self.poll_seconds = poll_seconds
+        if self.checkpoint_dir is not None:
+            swept = sweep_orphans(self.checkpoint_dir)
+            if swept:
+                self.metrics.inc("farm/orphan_checkpoints_swept", len(swept))
+        self._queue: queue_mod.PriorityQueue = queue_mod.PriorityQueue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._threads: list[threading.Thread] = []
+        self._target = 0
+        self._excess = 0  # shrink debt: workers asked to exit at the next boundary
+        self._seq = 0
+        self._queued: dict[str, JobSpec] = {}
+        self._cancelled_queued: set[str] = set()
+        self._running: dict[str, threading.Event] = {}
+        self._shutdown = False
+        self.resize(workers)
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Target worker count (the last :meth:`resize` value)."""
+        with self._lock:
+            return self._target
+
+    @property
+    def alive(self) -> int:
+        """Worker threads currently alive (> target while draining a shrink)."""
+        with self._lock:
+            return len(self._threads)
+
+    @property
+    def busy(self) -> int:
+        """Workers currently executing a job."""
+        with self._lock:
+            return len(self._running)
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        with self._lock:
+            return len(self._queued)
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec, priority: int = 1) -> None:
+        """Enqueue one job; lower ``priority`` numbers run first."""
+        if priority >= self._SENTINEL_PRIORITY:
+            raise ValueError(f"priority must be < {self._SENTINEL_PRIORITY}")
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool is shut down")
+            if spec.job_id in self._queued or spec.job_id in self._running:
+                raise ValueError(f"job_id {spec.job_id!r} is already in the pool")
+            self._seq += 1
+            self._queued[spec.job_id] = spec
+            self._queue.put((priority, self._seq, spec))
+        self.metrics.inc("farm/pool/submitted")
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job: ``"queued"`` | ``"running"`` | ``"unknown"``.
+
+        Queued jobs are dequeued without running (a ``cancelled`` result is
+        still delivered); running jobs get their cooperative cancel flag
+        set and stop at the next step boundary.
+        """
+        with self._lock:
+            if job_id in self._queued and job_id not in self._cancelled_queued:
+                self._cancelled_queued.add(job_id)
+                return "queued"
+            flag = self._running.get(job_id)
+            if flag is not None:
+                flag.set()
+                return "running"
+        return "unknown"
+
+    # ------------------------------------------------------------------
+    def resize(self, workers: int) -> None:
+        """Set the target worker count; grow now, shrink by draining."""
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        spawn = 0
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool is shut down")
+            self._target = workers
+            deficit = workers - (len(self._threads) - self._excess)
+            if deficit > 0:
+                # pay down shrink debt first, then spawn the remainder
+                repay = min(self._excess, deficit)
+                self._excess -= repay
+                spawn = deficit - repay
+                for _ in range(spawn):
+                    t = threading.Thread(target=self._worker_loop, daemon=True)
+                    self._threads.append(t)
+            elif deficit < 0:
+                self._excess += -deficit
+                self.metrics.inc("farm/pool/shrink_requests", -deficit)
+        # start outside the lock: a worker's first action is taking it
+        if spawn:
+            with self._lock:
+                to_start = [t for t in self._threads if not t.is_alive() and not t.ident]
+            for t in to_start:
+                t.start()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no job is queued or running (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._idle:
+            while self._queued or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining if remaining is not None else 1.0)
+        return True
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> bool:
+        """Stop the pool.  ``drain=True`` finishes queued + running jobs
+        first; ``drain=False`` cancels queued jobs and asks running ones to
+        stop at their next step boundary.  Returns False on timeout."""
+        ok = True
+        if drain:
+            ok = self.drain(timeout)
+        with self._lock:
+            self._shutdown = True
+            if not drain:
+                for job_id in list(self._queued):
+                    self._cancelled_queued.add(job_id)
+                for flag in self._running.values():
+                    flag.set()
+            self._target = 0
+            self._excess = len(self._threads)
+            threads = list(self._threads)
+        for t in threads:
+            t.join(timeout=30.0)
+            if t.is_alive():  # pragma: no cover - wedged worker
+                ok = False
+        return ok
+
+    # ------------------------------------------------------------------
+    def _deliver(self, result: JobResult) -> None:
+        self.metrics.merge(result.metrics)
+        self.metrics.inc("farm/jobs")
+        self.metrics.inc(
+            "farm/jobs_completed" if result.ok else
+            ("farm/pool/cancelled" if result.status == "cancelled" else "farm/jobs_failed")
+        )
+        if self.on_result is not None:
+            self.on_result(result)
+
+    def _worker_loop(self) -> None:
+        me = threading.current_thread()
+        while True:
+            with self._lock:
+                if self._excess > 0:
+                    self._excess -= 1
+                    self._threads.remove(me)
+                    self.metrics.inc("farm/pool/drained_exits")
+                    return
+            try:
+                _prio, _seq, spec = self._queue.get(timeout=self.poll_seconds)
+            except queue_mod.Empty:
+                continue
+            with self._lock:
+                self._queued.pop(spec.job_id, None)
+                if spec.job_id in self._cancelled_queued:
+                    self._cancelled_queued.discard(spec.job_id)
+                    cancelled: JobResult | None = JobResult(
+                        job_id=spec.job_id, status="cancelled"
+                    )
+                else:
+                    cancelled = None
+                    flag = threading.Event()
+                    self._running[spec.job_id] = flag
+            if cancelled is not None:
+                self._deliver(cancelled)
+                with self._idle:
+                    self._idle.notify_all()
+                continue
+            m = MetricsRegistry()
+            try:
+                result = run_job(
+                    spec,
+                    self.checkpoint_dir,
+                    metrics=m,
+                    on_event=self.on_event,
+                    heartbeat_seconds=self.heartbeat_seconds,
+                    cancel=flag,
+                )
+            except BaseException as exc:  # harness error: report, keep the worker
+                result = JobResult(
+                    job_id=spec.job_id,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    metrics=m.to_dict(),
+                )
+            with self._idle:
+                self._running.pop(spec.job_id, None)
+                self._idle.notify_all()
+            self._deliver(result)

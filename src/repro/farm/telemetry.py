@@ -25,7 +25,32 @@ from dataclasses import dataclass, field
 __all__ = ["JobView", "FleetView", "render_fleet", "LiveRenderer"]
 
 #: display order of job states in the fleet table
-_STATE_ORDER = {"running": 0, "degraded": 1, "pending": 2, "completed": 3, "failed": 4}
+_STATE_ORDER = {
+    "running": 0,
+    "degraded": 1,
+    "pending": 2,
+    "completed": 3,
+    "cancelled": 4,
+    "failed": 5,
+}
+
+#: states no same-attempt event may leave again (late arrivals are folded
+#: into ``updated`` only, never into a resurrected ``running``)
+_TERMINAL_STATES = ("completed", "failed", "cancelled")
+
+
+def _as_int(value, default: int) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_float(value, default: float) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
 
 
 @dataclass
@@ -84,34 +109,52 @@ class FleetView:
                     view.steps_total = steps[job_id]
 
     def observe(self, event: dict) -> None:
-        """Fold one worker event into the fleet state (unknown types kept)."""
-        job_id = event.get("job_id")
-        if not job_id:
+        """Fold one worker event into the fleet state (unknown types kept).
+
+        Deliberately crash-proof: events arrive over queues from many
+        workers and may be malformed, duplicated or out of order, and a
+        telemetry fold must never take the supervision loop down.
+        Malformed fields are ignored, ``step`` is monotonic within an
+        attempt, and terminal states (``completed``/``failed``/
+        ``cancelled``) are sticky — a late ``heartbeat`` or ``job_start``
+        of the same attempt cannot resurrect a finished job, while a
+        *higher* attempt (a retry) legitimately reopens it.
+        """
+        job_id = event.get("job_id") if isinstance(event, dict) else None
+        if not job_id or not isinstance(job_id, str):
             return
-        etype = event.get("type", "")
-        now = float(event.get("t", time.time()))
+        etype = str(event.get("type", ""))
+        now = _as_float(event.get("t"), time.time())
         with self._lock:
             self.events_seen += 1
             view = self._jobs.setdefault(job_id, JobView(job_id=job_id))
             view.updated = max(view.updated, now)
-            if "attempt" in event:
-                view.attempt = int(event["attempt"])
+            attempt = _as_int(event.get("attempt"), view.attempt)
+            retry = attempt > view.attempt
+            if retry:
+                view.attempt = attempt
+                view.step = 0  # a retry restarts (or re-resumes) the run
+            if view.state in _TERMINAL_STATES and not retry:
+                return  # sticky: late same-attempt events only refresh `updated`
             if "pid" in event:
-                view.pid = event["pid"]
+                view.pid = event["pid"] if isinstance(event["pid"], int) else view.pid
             if "solver" in event:
                 view.solver = str(event["solver"])
             if "steps_total" in event:
-                view.steps_total = int(event["steps_total"])
+                view.steps_total = _as_int(event["steps_total"], view.steps_total)
             if "step" in event:
-                view.step = int(event["step"])
+                # monotonic within one attempt: an out-of-order heartbeat
+                # must not walk the progress bar backwards
+                view.step = max(view.step, _as_int(event["step"], view.step))
             if "divnorm" in event:
-                view.divnorm = float(event["divnorm"])
+                view.divnorm = _as_float(event["divnorm"], view.divnorm)
             if etype == "job_start":
                 view.state = "running"
             elif etype == "pcg_fallback":
                 view.state = "degraded"
             elif etype == "job_end":
-                view.state = "completed" if event.get("status") == "completed" else "failed"
+                status = event.get("status")
+                view.state = status if status in _TERMINAL_STATES else "failed"
             elif etype in ("heartbeat", "checkpoint") and view.state == "pending":
                 view.state = "running"
 
@@ -156,7 +199,8 @@ def render_fleet(fleet: FleetView, now: float | None = None) -> str:
     for v in views:
         progress = f"[{_bar(v.progress)}] {v.step}/{v.steps_total or '?'}"
         age = f"{now - v.updated:5.1f}s" if v.updated else "    --"
-        divnorm = f"{v.divnorm:10.3g}" if v.divnorm == v.divnorm else "        --"
+        finite = isinstance(v.divnorm, (int, float)) and v.divnorm == v.divnorm
+        divnorm = f"{v.divnorm:10.3g}" if finite else "        --"
         lines.append(
             f"{v.job_id:<16} {v.state:<10} {progress:<24} {divnorm} "
             f"{v.solver:<10} {v.pid if v.pid is not None else '--':>7} {age}"

@@ -42,7 +42,7 @@ from repro.fluid import (
 from repro.metrics import MetricsRegistry
 from repro.trace import get_tracer
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import load_checkpoint, save_checkpoint, sweep_orphans
 from .jobs import JobResult, JobSpec
 
 __all__ = [
@@ -115,6 +115,7 @@ def run_job(
     on_event=None,
     heartbeat_seconds: float = 0.5,
     attach_trace: bool = False,
+    cancel=None,
 ) -> JobResult:
     """Execute one job to completion (or bounded failure) and report it.
 
@@ -133,6 +134,11 @@ def run_job(
     ``JobResult.trace``.  Only the process backend sets it — its workers
     own a private per-process tracer, while the serial/batched backends
     share one farm tracer whose data would be duplicated per job.
+
+    ``cancel``, when given, is a :class:`threading.Event`-like object
+    checked between steps: once set, the job stops at the next step
+    boundary with ``status="cancelled"`` (the serve tier's cooperative
+    cancellation for already-running jobs).
     """
     m = metrics if metrics is not None else MetricsRegistry()
     factory = solver_factory if solver_factory is not None else build_solver
@@ -166,6 +172,14 @@ def run_job(
     with tr.span("job", job_id=spec.job_id, attempt=attempt) as job_span:
         sim = make_sim(solver_kind)
         resumed_from: int | None = None
+        if ckpt is not None:
+            # a previous attempt hard-killed mid-write leaves a torn
+            # ``.tmp`` behind; it is never a valid snapshot, so drop it
+            # before resuming from the last good checkpoint
+            torn = ckpt.with_name(ckpt.name + ".tmp")
+            if torn.exists():
+                torn.unlink(missing_ok=True)
+                m.inc("farm/orphan_checkpoints_swept")
         if ckpt is not None and ckpt.exists():
             sim.load_state(load_checkpoint(ckpt))
             resumed_from = sim.current_step
@@ -185,6 +199,10 @@ def run_job(
         inject_at = spec.fail_at_step if attempt == 0 else None
         last_beat = time.monotonic()
         while sim.current_step < spec.steps:
+            if cancel is not None and cancel.is_set():
+                status = "cancelled"
+                m.inc("farm/jobs_cancelled")
+                break
             try:
                 if inject_at is not None and sim.current_step == inject_at:
                     inject_at = None

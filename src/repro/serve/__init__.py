@@ -1,0 +1,90 @@
+"""repro.serve — simulation-as-a-service on top of the farm.
+
+A long-lived asyncio tier turning the batch-shaped simulation farm into a
+service: jobs are submitted (in-process or over a local unix socket),
+admitted under per-tenant token-bucket quotas, answered instantly from a
+content-addressed result cache when the same configuration was already
+simulated, executed on an autoscaled pool of workers that shrinks by
+draining (never by killing), and observable live through per-job progress
+streams.
+
+Layers, bottom up:
+
+``protocol``
+    Length-prefixed JSON framing and the root of the typed, wire-stable
+    error hierarchy (:class:`ServeError` and its ``code`` strings).
+``admission``
+    :class:`TenantQuota` / :class:`AdmissionController`: rate, burst and
+    pending-cap enforcement with typed rejections.
+``cache``
+    :class:`ResultCache`: sharded on-disk store addressed by
+    :meth:`repro.farm.jobs.JobSpec.cache_key`, atomic writes, LRU
+    eviction, crash-rebuildable index.
+``autoscaler``
+    :func:`plan_workers` (pure policy) + :class:`Autoscaler` (the loop)
+    sizing the :class:`repro.farm.pool.Pool` to queue depth.
+``service``
+    :class:`SimulationService` (the in-process API) and
+    :class:`ServiceServer` (the unix-socket front end).
+``client``
+    :class:`ServiceClient`: the async socket client re-raising typed
+    errors from wire codes.
+"""
+
+from .admission import (
+    DEFAULT_QUOTA,
+    AdmissionController,
+    AdmissionError,
+    QueueFullError,
+    QuotaExceededError,
+    TenantQuota,
+    TokenBucket,
+)
+from .autoscaler import Autoscaler, plan_workers
+from .cache import ResultCache
+from .client import ServiceClient, connect
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServeError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from .service import (
+    DuplicateJobError,
+    InvalidSpecError,
+    ServiceServer,
+    ShuttingDownError,
+    SimulationService,
+    UnknownJobError,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "Autoscaler",
+    "DEFAULT_QUOTA",
+    "DuplicateJobError",
+    "InvalidSpecError",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "ResultCache",
+    "ServeError",
+    "ServiceClient",
+    "ServiceServer",
+    "ShuttingDownError",
+    "SimulationService",
+    "TenantQuota",
+    "TokenBucket",
+    "UnknownJobError",
+    "connect",
+    "decode_payload",
+    "encode_frame",
+    "plan_workers",
+    "read_frame",
+    "write_frame",
+]

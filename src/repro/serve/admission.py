@@ -1,0 +1,221 @@
+"""Per-tenant admission control: token-bucket quotas and pending caps.
+
+Millions of users do not get an unbounded right to simulate: every tenant
+(an API key, a product surface, a batch pipeline) carries a
+:class:`TenantQuota` — a token-bucket *rate* limit smoothing sustained load,
+a *burst* allowance for interactive spikes, and a *max_pending* cap bounding
+how much of the queue one tenant may occupy.  :class:`AdmissionController`
+enforces all three at submission time and raises **typed** errors
+(:class:`QuotaExceededError`, :class:`QueueFullError`) so callers and the
+wire protocol can distinguish "slow down" from "you already have too much
+queued" without parsing message strings.
+
+Cache hits deliberately bypass admission: serving a content-addressed
+result costs microseconds and no worker time, so repeat requests for
+popular configurations — the common case at production scale — are never
+throttled.
+
+The controller takes an injectable ``clock`` so quota behaviour is
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from .protocol import ServeError
+
+__all__ = [
+    "TenantQuota",
+    "TokenBucket",
+    "AdmissionError",
+    "QuotaExceededError",
+    "QueueFullError",
+    "AdmissionController",
+    "DEFAULT_QUOTA",
+]
+
+
+class AdmissionError(ServeError):
+    """A submission was rejected by admission control."""
+
+    code = "admission_denied"
+
+    def __init__(self, message: str, tenant: str = ""):
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant's token bucket is empty — sustained rate exceeded."""
+
+    code = "quota_exceeded"
+
+
+class QueueFullError(AdmissionError):
+    """The tenant already has ``max_pending`` jobs queued or running."""
+
+    code = "queue_full"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits of one tenant.
+
+    ``rate`` is the sustained submission rate in jobs/second (token refill);
+    ``burst`` is the bucket capacity — how many jobs may arrive back-to-back
+    after an idle period; ``max_pending`` bounds the tenant's jobs that are
+    admitted but not yet finished.  ``rate=None`` disables rate limiting
+    (the bucket never empties); ``max_pending=None`` disables the cap.
+    """
+
+    rate: float | None = 4.0
+    burst: float = 8.0
+    max_pending: int | None = 16
+
+    def __post_init__(self):
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be > 0 (or None to disable)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None to disable)")
+
+
+#: the quota applied to tenants without an explicit entry
+DEFAULT_QUOTA = TenantQuota()
+
+
+class TokenBucket:
+    """A standard token bucket: ``burst`` capacity refilled at ``rate``/s."""
+
+    def __init__(self, rate: float | None, burst: float, clock=time.monotonic):
+        self.rate = rate
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if self.rate is not None:
+            self._tokens = min(self.burst, self._tokens + (now - self._refilled) * self.rate)
+        self._refilled = now
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket."""
+        self._refill()
+        return self._tokens if self.rate is not None else self.burst
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if present; False (and no change) otherwise."""
+        if self.rate is None:
+            return True
+        self._refill()
+        if self._tokens + 1e-12 < n:
+            return False
+        self._tokens -= n
+        return True
+
+
+class _TenantState:
+    __slots__ = ("quota", "bucket", "pending", "admitted", "rejected")
+
+    def __init__(self, quota: TenantQuota, clock):
+        self.quota = quota
+        self.bucket = TokenBucket(quota.rate, quota.burst, clock)
+        self.pending = 0
+        self.admitted = 0
+        self.rejected = 0
+
+
+class AdmissionController:
+    """Thread-safe per-tenant admission decisions.
+
+    ``admit`` either records one pending job for the tenant or raises a
+    typed :class:`AdmissionError`; the owner must call ``release`` exactly
+    once per admitted job when it reaches a terminal state (completed,
+    failed or cancelled), returning the pending slot.
+    """
+
+    def __init__(
+        self,
+        default_quota: TenantQuota = DEFAULT_QUOTA,
+        quotas: dict[str, TenantQuota] | None = None,
+        clock=time.monotonic,
+    ):
+        self.default_quota = default_quota
+        self._quotas = dict(quotas or {})
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            quota = self._quotas.get(tenant, self.default_quota)
+            state = self._tenants[tenant] = _TenantState(quota, self._clock)
+        return state
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota a tenant is (or would be) admitted under."""
+        with self._lock:
+            return self._state(tenant).quota
+
+    def admit(self, tenant: str) -> None:
+        """Admit one job for ``tenant`` or raise a typed rejection.
+
+        The pending cap is checked before the bucket so a rejected-for-
+        backlog submission does not also burn a rate token.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            quota = state.quota
+            if quota.max_pending is not None and state.pending >= quota.max_pending:
+                state.rejected += 1
+                raise QueueFullError(
+                    f"tenant {tenant!r} already has {state.pending} pending job(s) "
+                    f"(max_pending={quota.max_pending})",
+                    tenant=tenant,
+                )
+            if not state.bucket.try_take(1.0):
+                state.rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded its submission rate "
+                    f"(rate={quota.rate}/s, burst={quota.burst})",
+                    tenant=tenant,
+                )
+            state.pending += 1
+            state.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        """Return one pending slot after a job reaches a terminal state."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None and state.pending > 0:
+                state.pending -= 1
+
+    def pending(self, tenant: str) -> int:
+        """Admitted-but-unfinished jobs of ``tenant``."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return state.pending if state is not None else 0
+
+    def snapshot(self) -> dict:
+        """Per-tenant admission counters for the stats surface."""
+        with self._lock:
+            return {
+                tenant: {
+                    "pending": s.pending,
+                    "admitted": s.admitted,
+                    "rejected": s.rejected,
+                    "tokens": round(s.bucket.available, 3),
+                    "rate": s.quota.rate,
+                    "burst": s.quota.burst,
+                    "max_pending": s.quota.max_pending,
+                }
+                for tenant, s in sorted(self._tenants.items())
+            }

@@ -1,0 +1,112 @@
+"""Worker-fleet autoscaling: size the pool to the admitted load.
+
+The policy is deliberately a pure function — :func:`plan_workers` maps
+observable load (queue depth, busy workers) to a target fleet size inside
+``[min_workers, max_workers]`` — so it is trivially unit-testable and the
+:class:`Autoscaler` wrapper only owns the *when* (a periodic tick) and the
+*how* (calling :meth:`repro.farm.pool.Pool.resize`, which grows by
+spawning and shrinks by draining — never by killing a busy worker).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.metrics import MetricsRegistry
+
+__all__ = ["plan_workers", "Autoscaler"]
+
+
+def plan_workers(
+    queue_depth: int,
+    busy: int,
+    current: int,
+    min_workers: int,
+    max_workers: int,
+) -> int:
+    """Target fleet size for the observed load.
+
+    One worker per unit of admitted demand (running + queued jobs),
+    clamped to the configured band: an empty service drains down to
+    ``min_workers``, a deep queue grows one-to-one until ``max_workers``.
+    """
+    if min_workers < 0 or max_workers < min_workers:
+        raise ValueError("need 0 <= min_workers <= max_workers")
+    demand = busy + queue_depth
+    return max(min_workers, min(max_workers, demand))
+
+
+class Autoscaler:
+    """Periodically resize a :class:`~repro.farm.pool.Pool` to the load.
+
+    ``tick()`` makes one synchronous scaling decision (used directly by
+    tests and by the service between submissions); :meth:`run` is the
+    asyncio loop driving ticks every ``interval_seconds`` until
+    :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        pool,
+        min_workers: int = 1,
+        max_workers: int = 4,
+        interval_seconds: float = 0.25,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if min_workers < 0 or max_workers < min_workers:
+            raise ValueError("need 0 <= min_workers <= max_workers")
+        self.pool = pool
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.interval_seconds = interval_seconds
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stop = asyncio.Event()
+
+    def tick(self) -> int:
+        """Make one scaling decision; returns the (possibly new) target."""
+        current = self.pool.workers
+        target = plan_workers(
+            queue_depth=self.pool.queue_depth,
+            busy=self.pool.busy,
+            current=current,
+            min_workers=self.min_workers,
+            max_workers=self.max_workers,
+        )
+        if target != current:
+            if target > current:
+                self.metrics.inc("serve/autoscaler/grow_events")
+            else:
+                self.metrics.inc("serve/autoscaler/shrink_events")
+            self.pool.resize(target)
+        return target
+
+    async def run(self) -> None:
+        """Tick every ``interval_seconds`` until :meth:`stop` is called.
+
+        ``stop()`` may legitimately land *before* this coroutine is first
+        scheduled (a service started and immediately stopped), so the stop
+        event is never cleared here — a one-shot loop per Autoscaler.
+        """
+        while not self._stop.is_set():
+            self.tick()
+            try:
+                await asyncio.wait_for(self._stop.wait(), self.interval_seconds)
+            except asyncio.TimeoutError:
+                continue
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to exit after its current tick."""
+        self._stop.set()
+
+    def snapshot(self) -> dict:
+        """Scaling state for the stats surface."""
+        return {
+            "workers": self.pool.workers,
+            "alive": self.pool.alive,
+            "busy": self.pool.busy,
+            "queue_depth": self.pool.queue_depth,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "grow_events": int(self.metrics.counter("serve/autoscaler/grow_events")),
+            "shrink_events": int(self.metrics.counter("serve/autoscaler/shrink_events")),
+        }

@@ -1,0 +1,191 @@
+"""Content-addressed result cache: ``cache_key`` → persisted ``JobResult``.
+
+Entries live under a sharded on-disk store — ``root/<key[:2]>/<key>.json``
+— addressed by :meth:`repro.farm.jobs.JobSpec.cache_key`, the SHA-256 of
+the spec's canonical semantic document.  Because the key is derived from
+*what the simulation computes* (scenario, grid, seed, steps, solver,
+params, requirement) and nothing else, two tenants submitting the same
+configuration under different job ids share one entry, and a spec change
+that alters the output can never alias a stale entry.
+
+Writes are atomic (tmp file + fsync + ``os.replace``), so a crash mid-put
+leaves either the previous entry or none — never a torn JSON file.  An
+``index.json`` at the root persists the LRU recency order across restarts;
+if it is missing or corrupt the cache rebuilds the index by scanning the
+shards (recency then falls back to file mtimes).  Eviction is LRU beyond
+``max_entries``: evicted entries are unlinked from disk, not just
+forgotten.
+
+Only ``completed`` results are cached — a failure is not a reusable fact
+about the configuration, it is a fact about one attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.farm.jobs import JobResult
+from repro.metrics import MetricsRegistry
+
+__all__ = ["ResultCache"]
+
+_INDEX_NAME = "index.json"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class ResultCache:
+    """Sharded, LRU-bounded, crash-safe store of completed job results.
+
+    Parameters
+    ----------
+    root:
+        Directory the store lives in (created if missing).
+    max_entries:
+        LRU capacity; ``None`` means unbounded.
+    metrics:
+        Registry receiving ``serve/cache/{hits,misses,puts,evictions}``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_entries: int | None = 256,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        #: key -> entry path, in LRU order (oldest first)
+        self._index: OrderedDict[str, Path] = OrderedDict()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _scan_entries(self) -> list[tuple[float, str, Path]]:
+        found: list[tuple[float, str, Path]] = []
+        for shard in self.root.iterdir():
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for entry in shard.glob("*.json"):
+                key = entry.stem
+                if len(key) == 64 and key.startswith(shard.name):
+                    try:
+                        mtime = entry.stat().st_mtime
+                    except OSError:  # pragma: no cover - raced unlink
+                        continue
+                    found.append((mtime, key, entry))
+        return sorted(found)
+
+    def _load_index(self) -> None:
+        """Adopt the persisted recency order, falling back to a shard scan.
+
+        The index is advisory (recency only): entries present on disk but
+        missing from it are appended by scan, entries it names that no
+        longer exist are dropped.  A corrupt index therefore costs LRU
+        precision, never data.
+        """
+        keys: list[str] = []
+        index_file = self.root / _INDEX_NAME
+        try:
+            loaded = json.loads(index_file.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("keys"), list):
+                keys = [k for k in loaded["keys"] if isinstance(k, str)]
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            keys = []
+        on_disk = {key: path for _mtime, key, path in self._scan_entries()}
+        for key in keys:
+            if key in on_disk:
+                self._index[key] = on_disk.pop(key)
+        for key, path in on_disk.items():  # mtime order: oldest first
+            self._index[key] = path
+
+    def _persist_index(self) -> None:
+        _atomic_write_text(
+            self.root / _INDEX_NAME,
+            json.dumps({"keys": list(self._index)}, separators=(",", ":")),
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def get(self, key: str) -> JobResult | None:
+        """The cached result under ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU recency.  An unreadable entry
+        (deleted or corrupted behind the cache's back) is dropped and
+        counted as a miss.
+        """
+        with self._lock:
+            path = self._index.get(key)
+            if path is None:
+                self.metrics.inc("serve/cache/misses")
+                return None
+            try:
+                result = JobResult.from_dict(json.loads(path.read_text(encoding="utf-8")))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError, TypeError):
+                self._index.pop(key, None)
+                path.unlink(missing_ok=True)
+                self.metrics.inc("serve/cache/misses")
+                return None
+            self._index.move_to_end(key)
+            self.metrics.inc("serve/cache/hits")
+            return result
+
+    def put(self, key: str, result: JobResult) -> bool:
+        """Store a completed result under ``key``; False if not cacheable."""
+        if not result.ok:
+            return False
+        with self._lock:
+            path = self._entry_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(path, json.dumps(result.to_dict(), separators=(",", ":")))
+            self._index[key] = path
+            self._index.move_to_end(key)
+            self.metrics.inc("serve/cache/puts")
+            while self.max_entries is not None and len(self._index) > self.max_entries:
+                _evicted_key, evicted_path = self._index.popitem(last=False)
+                evicted_path.unlink(missing_ok=True)
+                self.metrics.inc("serve/cache/evictions")
+        return True
+
+    def flush(self) -> None:
+        """Persist the LRU index (atomic) — call at shutdown."""
+        with self._lock:
+            self._persist_index()
+
+    def stats(self) -> dict:
+        """Occupancy and hit/miss counters for the stats surface."""
+        with self._lock:
+            entries = len(self._index)
+        return {
+            "entries": entries,
+            "max_entries": self.max_entries,
+            "hits": int(self.metrics.counter("serve/cache/hits")),
+            "misses": int(self.metrics.counter("serve/cache/misses")),
+            "puts": int(self.metrics.counter("serve/cache/puts")),
+            "evictions": int(self.metrics.counter("serve/cache/evictions")),
+        }

@@ -1,0 +1,144 @@
+"""Async client of the serve tier's unix-socket protocol.
+
+:class:`ServiceClient` speaks the length-prefixed JSON frames of
+:mod:`repro.serve.protocol` and maps ``error`` responses back to the
+typed exception hierarchy — a ``quota_exceeded`` rejection raises
+:class:`~repro.serve.admission.QuotaExceededError` on the client exactly
+as it did on the server, so callers branch on exception type, never on
+message strings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import asyncio
+
+from repro.farm.jobs import JobResult, JobSpec
+
+from .admission import AdmissionError, QueueFullError, QuotaExceededError
+from .protocol import ProtocolError, ServeError, read_frame, write_frame
+from .service import (
+    DuplicateJobError,
+    InvalidSpecError,
+    ShuttingDownError,
+    UnknownJobError,
+)
+
+__all__ = ["ServiceClient", "connect"]
+
+#: wire code -> exception class; unknown codes fall back to ServeError
+_CODE_TO_ERROR = {
+    cls.code: cls
+    for cls in (
+        ProtocolError,
+        AdmissionError,
+        QuotaExceededError,
+        QueueFullError,
+        UnknownJobError,
+        DuplicateJobError,
+        ShuttingDownError,
+        InvalidSpecError,
+    )
+}
+
+
+def _raise_from_error(error: dict) -> None:
+    code = error.get("code", "error") if isinstance(error, dict) else "error"
+    message = error.get("message", "") if isinstance(error, dict) else str(error)
+    raise _CODE_TO_ERROR.get(code, ServeError)(message)
+
+
+class ServiceClient:
+    """One connection to a running :class:`~repro.serve.service.ServiceServer`.
+
+    Use as an async context manager (or :func:`connect`)::
+
+        async with await connect(sock) as client:
+            job = await client.submit(spec, tenant="batch")
+            result = await client.result(job["job_id"])
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def open(cls, socket_path: str | Path) -> "ServiceClient":
+        """Connect to the service socket."""
+        reader, writer = await asyncio.open_unix_connection(str(socket_path))
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    async def _request(self, message: dict) -> dict:
+        await write_frame(self._writer, message)
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if not response.get("ok", False):
+            _raise_from_error(response.get("error"))
+        return response
+
+    async def submit(
+        self, spec: JobSpec, tenant: str = "default", priority: int = 1
+    ) -> dict:
+        """Submit a job; returns its status summary (may be a cache hit)."""
+        response = await self._request(
+            {"op": "submit", "spec": spec.to_dict(), "tenant": tenant, "priority": priority}
+        )
+        return response["job"]
+
+    async def status(self, job_id: str) -> dict:
+        """Current status summary of one job."""
+        return (await self._request({"op": "status", "job_id": job_id}))["job"]
+
+    async def result(self, job_id: str, timeout: float | None = None) -> JobResult:
+        """Block until the job is terminal; returns its :class:`JobResult`."""
+        message = {"op": "result", "job_id": job_id}
+        if timeout is not None:
+            message["timeout"] = timeout
+        return JobResult.from_dict((await self._request(message))["result"])
+
+    async def cancel(self, job_id: str) -> str:
+        """Request cancellation; returns the outcome string."""
+        return (await self._request({"op": "cancel", "job_id": job_id}))["outcome"]
+
+    async def stats(self) -> dict:
+        """The service's stats snapshot."""
+        return (await self._request({"op": "stats"}))["stats"]
+
+    async def watch(self, job_id: str):
+        """Async-iterate the job's live telemetry events until terminal.
+
+        The connection is dedicated to the stream while iterating; make a
+        second client for concurrent requests.
+        """
+        await self._request({"op": "watch", "job_id": job_id})
+        while True:
+            frame = await read_frame(self._reader)
+            if frame is None:
+                raise ProtocolError("server closed the connection mid-watch")
+            if frame.get("done"):
+                return
+            if not frame.get("ok", True):  # error mid-stream
+                _raise_from_error(frame.get("error"))
+            yield frame.get("event")
+
+
+async def connect(socket_path: str | Path) -> ServiceClient:
+    """Shorthand for :meth:`ServiceClient.open`."""
+    return await ServiceClient.open(socket_path)

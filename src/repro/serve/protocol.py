@@ -1,0 +1,99 @@
+"""Wire protocol of the serve tier: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  The framing is deliberately minimal — the service
+listens on a *local* unix socket, so there is no TLS, compression or
+negotiation, just unambiguous message boundaries over a byte stream.
+
+Requests are JSON objects with an ``op`` field (``submit`` / ``status`` /
+``result`` / ``cancel`` / ``watch`` / ``stats``) and op-specific fields;
+responses carry ``ok`` plus either the op's payload or an ``error`` object
+``{"code", "type", "message"}`` whose ``code`` round-trips the typed
+exception hierarchy rooted at :class:`ServeError` (so a client can re-raise
+``quota_exceeded`` as a :class:`~repro.serve.admission.QuotaExceededError`
+rather than a stringly-typed failure).  ``watch`` is the one streaming op:
+the server answers with any number of ``{"event": ...}`` frames and a
+terminal ``{"done": true}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServeError",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+]
+
+#: hard upper bound on one frame's payload; a result with a full metrics
+#: profile is ~10-100 KiB, so anything near this limit is a framing bug
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ServeError(RuntimeError):
+    """Base of the serve tier's typed error hierarchy.
+
+    Every subclass pins a stable ``code`` string that crosses the wire in
+    error responses; :meth:`repro.serve.client.ServiceClient` maps codes
+    back to the matching exception class.
+    """
+
+    code = "error"
+
+
+class ProtocolError(ServeError):
+    """Malformed frame: bad header, oversized payload or invalid JSON."""
+
+    code = "protocol_error"
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as wire bytes: length header + JSON payload."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload back into a message dict."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame payload must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:  # clean close between frames
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one frame and flush it to the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -171,3 +171,66 @@ def test_checkpoint_write_is_atomic(tmp_path):
     sim.run(1)
     save_checkpoint(sim, path)
     assert checkpoint_step(path) == 2
+
+
+class TestOrphanSweep:
+    """Torn ``.tmp`` checkpoints from killed workers are swept, never resumed."""
+
+    def test_sweep_removes_only_torn_tmp_files(self, tmp_path):
+        from repro.farm import sweep_orphans
+
+        good = tmp_path / "a.smoke_plume.deadbeef.ckpt.npz"
+        torn = tmp_path / "a.smoke_plume.deadbeef.ckpt.npz.tmp"
+        other = tmp_path / "unrelated.txt"
+        good.write_bytes(b"payload")
+        torn.write_bytes(b"torn half-write")
+        other.write_text("keep me")
+        removed = sweep_orphans(tmp_path)
+        assert removed == [torn]
+        assert good.exists() and other.exists() and not torn.exists()
+
+    def test_sweep_of_missing_directory_is_a_noop(self, tmp_path):
+        from repro.farm import sweep_orphans
+
+        assert sweep_orphans(tmp_path / "nope") == []
+
+    def test_crashed_mid_write_checkpoint_cleaned_and_job_resumes(self, tmp_path):
+        """A worker killed mid-checkpoint leaves a torn .tmp next to the last
+        good snapshot; the retry must drop the orphan and resume from the
+        good state (satellite regression for the serve tier's long-lived
+        checkpoint directories)."""
+        from repro.farm import JobSpec
+        from repro.farm.worker import run_job
+        from repro.metrics import MetricsRegistry
+
+        base = dict(grid_size=16, seed=3, steps=6, checkpoint_every=3)
+        straight = run_job(JobSpec(job_id="job", **base))
+
+        first = run_job(
+            JobSpec(job_id="job", **dict(base, steps=3)), checkpoint_dir=tmp_path
+        )
+        assert first.ok and first.steps_done == 3
+        ckpt = tmp_path / f"{JobSpec(job_id='job', **base).checkpoint_key}.ckpt.npz"
+        assert ckpt.exists()
+        torn = ckpt.with_name(ckpt.name + ".tmp")
+        torn.write_bytes(b"\x00garbage from a kill -9 mid-savez")
+
+        m = MetricsRegistry()
+        resumed = run_job(JobSpec(job_id="job", **base), checkpoint_dir=tmp_path, metrics=m)
+        assert not torn.exists()
+        assert m.counter("farm/orphan_checkpoints_swept") == 1
+        assert resumed.ok
+        assert resumed.resumed_from == 3
+        assert resumed.final_divnorm == straight.final_divnorm
+
+    def test_farm_run_sweeps_orphans_at_startup(self, tmp_path):
+        from repro.farm import JobSpec, SimulationFarm
+        from repro.metrics import MetricsRegistry
+
+        (tmp_path / "stale.smoke_plume.12345678.ckpt.npz.tmp").write_bytes(b"torn")
+        m = MetricsRegistry()
+        farm = SimulationFarm(backend="serial", checkpoint_dir=tmp_path, metrics=m)
+        report = farm.run([JobSpec(job_id="j", grid_size=12, steps=2)])
+        assert report.results[0].ok
+        assert not list(tmp_path.glob("*.tmp"))
+        assert m.counter("farm/orphan_checkpoints_swept") == 1

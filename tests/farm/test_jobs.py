@@ -47,6 +47,67 @@ class TestJobSpec:
             JobSpec(job_id="j", **kwargs)
 
 
+class TestCacheKey:
+    """The content address behind the serve tier's result cache."""
+
+    #: pinned digest of the default 32^2/seed-0/16-step PCG spec — this is a
+    #: *format regression pin*: any change to the semantic-field set or the
+    #: canonicalisation must bump CACHE_KEY_VERSION and re-pin, because a
+    #: silent change would mis-address every persisted cache entry
+    PINNED_DEFAULT = "f5c7816f56ac3fa9cb21d64e93cafe217099fe4142ab0ad8dce9835b39e4fd8c"
+    PINNED_DEFAULT_STATE = (
+        "8bb366ef0dcaac766acc3508ebb0592643c0d1f64504acd1e63d494348c30415"
+    )
+
+    def test_hash_format_is_pinned(self):
+        spec = JobSpec(job_id="anything", grid_size=32, seed=0, steps=16, solver="pcg")
+        assert spec.cache_key() == self.PINNED_DEFAULT
+        assert spec.state_key == self.PINNED_DEFAULT_STATE
+
+    def test_key_is_64_hex_chars(self):
+        key = JobSpec(job_id="j").cache_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_non_semantic_fields_do_not_change_the_key(self):
+        base = JobSpec(job_id="a").cache_key()
+        loaded = JobSpec(
+            job_id="completely-different",
+            checkpoint_every=4,
+            timeout_seconds=9.0,
+            max_retries=3,
+            fail_at_step=2,
+            fail_mode="crash",
+        )
+        assert loaded.cache_key() == base
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"grid_size": 48},
+            {"seed": 1},
+            {"steps": 17},
+            {"solver": "nn"},
+            {"solver_params": {"tol": 1e-6}},
+            {"divnorm_limit": 2.0},
+            {"scenario": "inflow_jet"},
+        ],
+    )
+    def test_semantic_fields_change_the_key(self, kwargs):
+        assert JobSpec(job_id="j", **kwargs).cache_key() != JobSpec(job_id="j").cache_key()
+
+    def test_round_trip_preserves_key(self):
+        spec = JobSpec(job_id="j", solver="nn", solver_params={"passes": 3}, steps=9)
+        restored = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored.cache_key() == spec.cache_key()
+
+    def test_state_key_ignores_steps_only(self):
+        a = JobSpec(job_id="j", steps=4)
+        assert JobSpec(job_id="j", steps=32).state_key == a.state_key
+        assert JobSpec(job_id="j", steps=32).cache_key() != a.cache_key()
+        assert JobSpec(job_id="j", seed=5).state_key != a.state_key
+
+
 class TestJobResult:
     def test_round_trips_through_json(self):
         res = JobResult(

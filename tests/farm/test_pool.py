@@ -238,3 +238,124 @@ class TestFarmReport:
         assert report.jobs_per_second == 0.5
         assert report.steps_per_second == 7.0
         assert len(report.failed) == 1
+
+
+class TestResizablePool:
+    """The long-lived pool behind repro.serve: drain-on-shrink, cancel."""
+
+    @staticmethod
+    def _pool(results, workers=2, **kwargs):
+        import threading
+
+        from repro.farm.pool import Pool
+
+        lock = threading.Lock()
+
+        def on_result(r):
+            with lock:
+                results.append(r)
+
+        return Pool(workers=workers, on_result=on_result, poll_seconds=0.01, **kwargs)
+
+    @staticmethod
+    def _wait(predicate, timeout=30.0):
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_jobs_complete_and_results_are_delivered(self):
+        results = []
+        pool = self._pool(results, workers=2)
+        for i in range(4):
+            pool.submit(JobSpec(job_id=f"p{i}", grid_size=12, steps=2, seed=i))
+        assert pool.drain(timeout=120)
+        pool.shutdown()
+        assert sorted(r.job_id for r in results) == ["p0", "p1", "p2", "p3"]
+        assert all(r.ok for r in results)
+
+    def test_shrink_drains_busy_workers_instead_of_killing_them(self):
+        """Regression for the autoscaler path: resizing down mid-run must let
+        every in-flight job finish (drain), never kill a busy worker."""
+        results = []
+        pool = self._pool(results, workers=3)
+        for i in range(6):
+            pool.submit(JobSpec(job_id=f"s{i}", grid_size=16, steps=5, seed=i))
+        assert self._wait(lambda: pool.busy >= 2)  # workers mid-job
+        pool.resize(1)  # scale down while they are busy
+        assert pool.workers == 1
+        assert pool.drain(timeout=240)
+        # every job ran its full budget: nothing was killed or requeued
+        assert sorted(r.job_id for r in results) == [f"s{i}" for i in range(6)]
+        assert all(r.ok and r.steps_done == 5 for r in results)
+        # the excess workers exit at a job boundary shortly after
+        assert self._wait(lambda: pool.alive == 1)
+        assert pool.metrics.counter("farm/pool/drained_exits") >= 2
+        pool.shutdown()
+
+    def test_grow_after_shrink_pays_down_drain_debt_first(self):
+        pool = self._pool([], workers=4)
+        pool.resize(1)
+        pool.resize(3)  # net: one excess remains, no new threads needed
+        assert pool.workers == 3
+        assert self._wait(lambda: pool.alive == 3)
+        pool.shutdown()
+
+    def test_cancel_queued_job_never_runs(self):
+        results = []
+        pool = self._pool(results, workers=1)
+        pool.submit(JobSpec(job_id="long", grid_size=16, steps=6))
+        assert self._wait(lambda: pool.busy == 1)
+        pool.submit(JobSpec(job_id="victim", grid_size=16, steps=6))
+        assert pool.cancel("victim") == "queued"
+        assert pool.drain(timeout=120)
+        pool.shutdown()
+        statuses = {r.job_id: r.status for r in results}
+        assert statuses == {"long": "completed", "victim": "cancelled"}
+        victim = next(r for r in results if r.job_id == "victim")
+        assert victim.steps_done == 0
+
+    def test_cancel_running_job_stops_at_step_boundary(self):
+        results = []
+        pool = self._pool(results, workers=1)
+        pool.submit(JobSpec(job_id="run", grid_size=16, steps=400))
+        assert self._wait(lambda: pool.busy == 1)
+        assert pool.cancel("run") == "running"
+        assert pool.drain(timeout=120)
+        pool.shutdown()
+        (res,) = results
+        assert res.status == "cancelled"
+        assert res.steps_done < 400
+
+    def test_priority_orders_queued_jobs(self):
+        results = []
+        pool = self._pool(results, workers=1)
+        pool.submit(JobSpec(job_id="head", grid_size=24, steps=8))
+        assert self._wait(lambda: pool.busy == 1)
+        pool.submit(JobSpec(job_id="low", grid_size=12, steps=2), priority=5)
+        pool.submit(JobSpec(job_id="high", grid_size=12, steps=2), priority=0)
+        assert pool.drain(timeout=120)
+        pool.shutdown()
+        order = [r.job_id for r in results]
+        assert order.index("high") < order.index("low")
+
+    def test_duplicate_and_post_shutdown_submissions_rejected(self):
+        pool = self._pool([], workers=1)
+        pool.submit(JobSpec(job_id="a", grid_size=12, steps=2))
+        with pytest.raises(ValueError, match="already in the pool"):
+            pool.submit(JobSpec(job_id="a", grid_size=12, steps=2))
+        assert pool.drain(timeout=60)
+        pool.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.submit(JobSpec(job_id="b", grid_size=12, steps=2))
+
+    def test_pool_startup_sweeps_orphaned_checkpoints(self, tmp_path):
+        (tmp_path / "dead.smoke_plume.0badf00d.ckpt.npz.tmp").write_bytes(b"torn")
+        pool = self._pool([], workers=1, checkpoint_dir=tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert pool.metrics.counter("farm/orphan_checkpoints_swept") == 1
+        pool.shutdown()

@@ -10,7 +10,7 @@ class TestJobSpecScenario:
     def test_default_scenario_is_smoke_plume(self):
         spec = JobSpec(job_id="j")
         assert spec.scenario == "smoke_plume"
-        assert spec.checkpoint_key == "j.smoke_plume"
+        assert spec.checkpoint_key == f"j.smoke_plume.{spec.state_key[:8]}"
 
     def test_scenario_string_canonicalised(self):
         spec = JobSpec(job_id="j", scenario="dam_break:gravity=2.0,grid=16")
@@ -41,8 +41,20 @@ class TestJobSpecScenario:
         dam = JobSpec(job_id="j", scenario="dam_break").checkpoint_key
         dam16 = JobSpec(job_id="j", scenario="dam_break:grid=16").checkpoint_key
         assert len({plain, dam, dam16}) == 3
-        assert dam == "j.dam_break"
+        assert dam.startswith("j.dam_break.")
         assert dam16.startswith("j.dam_break-")
+
+    def test_checkpoint_key_distinguishes_dynamics_not_step_budget(self):
+        # a bigger step budget must reuse the checkpoint (a checkpoint is a
+        # trajectory prefix), while any change to the dynamics re-keys it
+        base = JobSpec(job_id="j", steps=4)
+        assert JobSpec(job_id="j", steps=16).checkpoint_key == base.checkpoint_key
+        assert JobSpec(job_id="j", seed=1).checkpoint_key != base.checkpoint_key
+        assert JobSpec(job_id="j", solver="nn").checkpoint_key != base.checkpoint_key
+        assert (
+            JobSpec(job_id="j", divnorm_limit=1.0).checkpoint_key
+            != base.checkpoint_key
+        )
 
 
 class TestScenarioJobs:

@@ -176,3 +176,65 @@ class TestTraceAcrossCheckpointResume:
         assert second.final_divnorm == reference.final_divnorm
         assert second.cum_divnorm == pytest.approx(reference.cum_divnorm)
         assert ref_divnorms == pytest.approx(reference.cum_divnorm)
+
+
+class TestFleetViewCrashProofing:
+    """Rendering and folding must survive empty, sparse and disordered streams."""
+
+    def test_render_empty_fleet_does_not_raise(self):
+        out = render_fleet(FleetView())
+        assert "0 jobs" in out
+
+    def test_render_heartbeat_only_fleet_does_not_raise(self):
+        fleet = FleetView()
+        # a bare heartbeat: no job_start, no steps_total, no divnorm
+        fleet.observe({"type": "heartbeat", "job_id": "h"})
+        out = render_fleet(fleet)
+        assert "h" in out
+        (view,) = fleet.jobs()
+        assert view.state == "running"
+
+    def test_malformed_field_values_are_ignored_not_fatal(self):
+        fleet = FleetView()
+        fleet.observe({"type": "heartbeat", "job_id": "a", "step": "not-an-int",
+                       "steps_total": None, "divnorm": "nan?", "pid": "pid",
+                       "t": "yesterday", "attempt": object()})
+        fleet.observe({"type": "job_start", "job_id": 42})  # non-str id: dropped
+        fleet.observe("not even a dict")
+        out = render_fleet(fleet)
+        assert "a" in out
+
+    def test_out_of_order_heartbeat_does_not_regress_progress(self):
+        fleet = FleetView()
+        fleet.observe({"type": "heartbeat", "job_id": "a", "step": 5, "attempt": 0})
+        fleet.observe({"type": "heartbeat", "job_id": "a", "step": 3, "attempt": 0})
+        (view,) = fleet.jobs()
+        assert view.step == 5
+
+    def test_late_events_cannot_resurrect_a_finished_job(self):
+        fleet = FleetView()
+        fleet.observe({"type": "job_start", "job_id": "a", "attempt": 0})
+        fleet.observe({"type": "job_end", "job_id": "a", "status": "completed",
+                       "attempt": 0})
+        # stragglers of the same attempt arrive after the terminal event
+        fleet.observe({"type": "heartbeat", "job_id": "a", "step": 9, "attempt": 0})
+        fleet.observe({"type": "job_start", "job_id": "a", "attempt": 0})
+        (view,) = fleet.jobs()
+        assert view.state == "completed"
+
+    def test_retry_attempt_legitimately_reopens_the_job(self):
+        fleet = FleetView()
+        fleet.observe({"type": "job_end", "job_id": "a", "status": "failed",
+                       "attempt": 0, "step": 7})
+        fleet.observe({"type": "job_start", "job_id": "a", "attempt": 1, "step": 0})
+        (view,) = fleet.jobs()
+        assert view.state == "running"
+        assert view.attempt == 1
+        assert view.step == 0  # progress restarts with the retry
+
+    def test_cancelled_is_a_terminal_state(self):
+        fleet = FleetView()
+        fleet.observe({"type": "job_end", "job_id": "a", "status": "cancelled"})
+        (view,) = fleet.jobs()
+        assert view.state == "cancelled"
+        assert "cancelled" in render_fleet(fleet)

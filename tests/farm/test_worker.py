@@ -72,7 +72,8 @@ class TestRunJob:
         assert res.ok and res.degraded
         assert res.resumed_from == 2  # last checkpoint before the fault
         assert m.counter("farm/resumes") == 1
-        assert checkpoint_step(tmp_path / "job.smoke_plume.ckpt.npz") >= 2
+        ckpt = tmp_path / f"{spec(solver='nn').checkpoint_key}.ckpt.npz"
+        assert checkpoint_step(ckpt) >= 2
 
     def test_divergence_guard_triggers_degradation(self):
         res = run_job(spec(divnorm_limit=0.0))  # any positive DivNorm trips it
@@ -92,7 +93,8 @@ class TestRunJob:
         res = run_job(spec(steps=6, checkpoint_every=2), checkpoint_dir=tmp_path, metrics=m)
         assert res.ok
         assert m.counter("farm/checkpoints") == 3
-        assert checkpoint_step(tmp_path / "job.smoke_plume.ckpt.npz") == 6
+        ckpt = tmp_path / f"{spec(steps=6).checkpoint_key}.ckpt.npz"
+        assert checkpoint_step(ckpt) == 6
 
     def test_unknown_solver_kind_rejected(self):
         from repro.farm import build_solver

@@ -1,0 +1,151 @@
+"""Admission control: token buckets, pending caps, typed rejections."""
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    AdmissionError,
+    QueueFullError,
+    QuotaExceededError,
+    ServeError,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class Clock:
+    """Deterministic injectable clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert all(bucket.try_take() for _ in range(3))
+        assert not bucket.try_take()
+
+    def test_refills_at_rate(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=2.0, burst=4, clock=clock)
+        for _ in range(4):
+            bucket.try_take()
+        clock.advance(1.0)  # 2 tokens back
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = Clock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.available == 2
+
+    def test_rate_none_never_empties(self):
+        bucket = TokenBucket(rate=None, burst=1, clock=Clock())
+        assert all(bucket.try_take() for _ in range(50))
+
+
+class TestQuotaValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"rate": 0.0}, {"rate": -1.0}, {"burst": 0}, {"max_pending": 0}],
+    )
+    def test_invalid_quotas_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestAdmissionController:
+    def controller(self, clock=None, **quota) -> AdmissionController:
+        return AdmissionController(
+            default_quota=TenantQuota(**quota), clock=clock or Clock()
+        )
+
+    def test_burst_then_quota_exceeded(self):
+        ctrl = self.controller(rate=1.0, burst=2, max_pending=None)
+        ctrl.admit("t")
+        ctrl.admit("t")
+        with pytest.raises(QuotaExceededError) as exc_info:
+            ctrl.admit("t")
+        assert exc_info.value.code == "quota_exceeded"
+        assert exc_info.value.tenant == "t"
+
+    def test_rate_refill_readmits(self):
+        clock = Clock()
+        ctrl = self.controller(clock=clock, rate=1.0, burst=1, max_pending=None)
+        ctrl.admit("t")
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("t")
+        clock.advance(1.0)
+        ctrl.admit("t")  # no raise
+
+    def test_max_pending_then_queue_full(self):
+        ctrl = self.controller(rate=None, burst=8, max_pending=2)
+        ctrl.admit("t")
+        ctrl.admit("t")
+        with pytest.raises(QueueFullError) as exc_info:
+            ctrl.admit("t")
+        assert exc_info.value.code == "queue_full"
+
+    def test_release_frees_a_pending_slot(self):
+        ctrl = self.controller(rate=None, burst=8, max_pending=1)
+        ctrl.admit("t")
+        with pytest.raises(QueueFullError):
+            ctrl.admit("t")
+        ctrl.release("t")
+        ctrl.admit("t")  # no raise
+        assert ctrl.pending("t") == 1
+
+    def test_queue_full_rejection_burns_no_rate_token(self):
+        ctrl = self.controller(rate=1.0, burst=5, max_pending=1)
+        ctrl.admit("t")
+        for _ in range(3):
+            with pytest.raises(QueueFullError):
+                ctrl.admit("t")
+        ctrl.release("t")
+        ctrl.admit("t")  # 4 tokens must remain: the cap check ran first
+
+    def test_tenants_are_isolated(self):
+        ctrl = self.controller(rate=None, burst=8, max_pending=1)
+        ctrl.admit("a")
+        ctrl.admit("b")  # b's cap is untouched by a's pending job
+        with pytest.raises(QueueFullError):
+            ctrl.admit("a")
+
+    def test_per_tenant_quota_overrides_default(self):
+        ctrl = AdmissionController(
+            default_quota=TenantQuota(rate=None, burst=8, max_pending=1),
+            quotas={"vip": TenantQuota(rate=None, burst=8, max_pending=3)},
+            clock=Clock(),
+        )
+        for _ in range(3):
+            ctrl.admit("vip")
+        with pytest.raises(QueueFullError):
+            ctrl.admit("vip")
+        ctrl.admit("other")
+        with pytest.raises(QueueFullError):
+            ctrl.admit("other")
+
+    def test_typed_errors_are_serve_errors(self):
+        assert issubclass(QuotaExceededError, AdmissionError)
+        assert issubclass(QueueFullError, AdmissionError)
+        assert issubclass(AdmissionError, ServeError)
+
+    def test_snapshot_counts_admissions_and_rejections(self):
+        ctrl = self.controller(rate=None, burst=8, max_pending=1)
+        ctrl.admit("t")
+        with pytest.raises(QueueFullError):
+            ctrl.admit("t")
+        snap = ctrl.snapshot()
+        assert snap["t"]["admitted"] == 1
+        assert snap["t"]["rejected"] == 1
+        assert snap["t"]["pending"] == 1

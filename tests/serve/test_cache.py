@@ -1,0 +1,138 @@
+"""Result cache: content addressing, LRU eviction, crash-safe persistence."""
+
+import json
+
+from repro.farm import JobResult, JobSpec
+from repro.serve import ResultCache
+
+
+def result(job_id="j", status="completed", divnorm=0.5) -> JobResult:
+    return JobResult(
+        job_id=job_id, status=status, steps_done=4, solver_used="pcg",
+        final_divnorm=divnorm,
+    )
+
+
+def key_of(i: int) -> str:
+    return JobSpec(job_id="k", seed=i).cache_key()
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_of(0)
+        assert cache.put(key, result(divnorm=0.25))
+        got = cache.get(key)
+        assert got == result(divnorm=0.25)
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get(key_of(0)) is None
+
+    def test_only_completed_results_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put(key_of(0), result(status="failed"))
+        assert not cache.put(key_of(1), result(status="cancelled"))
+        assert len(cache) == 0
+
+    def test_entries_are_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_of(0)
+        cache.put(key, result())
+        assert (tmp_path / key[:2] / f"{key}.json").is_file()
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(key_of(i), result())
+        cache.flush()
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_lru_eviction_unlinks_oldest(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = [key_of(i) for i in range(3)]
+        for k in keys:
+            cache.put(k, result())
+        assert cache.get(keys[0]) is None  # evicted
+        assert cache.get(keys[1]) is not None
+        assert cache.get(keys[2]) is not None
+        assert not (tmp_path / keys[0][:2] / f"{keys[0]}.json").exists()
+        assert cache.stats()["evictions"] == 1
+
+    def test_get_refreshes_lru_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        a, b, c = key_of(0), key_of(1), key_of(2)
+        cache.put(a, result())
+        cache.put(b, result())
+        cache.get(a)  # a is now most recent: b must be the eviction victim
+        cache.put(c, result())
+        assert cache.get(a) is not None
+        assert cache.get(b) is None
+
+    def test_index_persists_recency_across_restart(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        a, b = key_of(0), key_of(1)
+        cache.put(a, result())
+        cache.put(b, result())
+        cache.get(a)
+        cache.flush()
+
+        reopened = ResultCache(tmp_path, max_entries=2)
+        reopened.put(key_of(2), result())  # evicts b, the persisted-LRU tail
+        assert reopened.get(a) is not None
+        assert reopened.get(b) is None
+
+    def test_missing_index_rebuilt_by_scanning_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [key_of(i) for i in range(3)]
+        for k in keys:
+            cache.put(k, result())
+        # no flush: simulate a crash before the index was ever written
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 3
+        assert all(reopened.get(k) is not None for k in keys)
+
+    def test_corrupt_index_rebuilt_by_scanning_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_of(0)
+        cache.put(key, result())
+        cache.flush()
+        (tmp_path / "index.json").write_text("{ not json !")
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(key) is not None
+
+    def test_corrupt_entry_is_dropped_as_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_of(0)
+        cache.put(key, result())
+        (tmp_path / key[:2] / f"{key}.json").write_text("torn garbage")
+        assert cache.get(key) is None
+        assert key not in cache
+
+    def test_index_ignores_entries_deleted_behind_its_back(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_of(0)
+        cache.put(key, result())
+        cache.flush()
+        (tmp_path / key[:2] / f"{key}.json").unlink()
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 0
+        assert reopened.get(key) is None
+
+    def test_stats_counts_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = key_of(0)
+        cache.get(key)
+        cache.put(key, result())
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["entries"] == 1
+
+    def test_index_file_is_valid_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(key_of(0), result())
+        cache.flush()
+        loaded = json.loads((tmp_path / "index.json").read_text())
+        assert loaded["keys"] == [key_of(0)]

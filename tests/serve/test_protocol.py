@@ -1,0 +1,79 @@
+"""Wire framing: encode/decode, stream reads, malformed-input rejection."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.serve import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+
+
+def read_one(data: bytes, eof: bool = True) -> dict | None:
+    """Feed bytes to a fresh StreamReader and read one frame from it."""
+
+    async def go():
+        r = asyncio.StreamReader()
+        r.feed_data(data)
+        if eof:
+            r.feed_eof()
+        return await read_frame(r)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_encode_is_header_plus_compact_json(self):
+        frame = encode_frame({"op": "stats"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert frame[4:] == b'{"op":"stats"}'
+
+    def test_round_trip(self):
+        message = {"op": "submit", "spec": {"job_id": "j", "steps": 4}, "priority": 2}
+        assert decode_payload(encode_frame(message)[4:]) == message
+
+    def test_oversized_frame_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    @pytest.mark.parametrize("payload", [b"not json", b'"a string"', b"[1,2]", b"42"])
+    def test_non_object_payloads_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            decode_payload(payload)
+
+
+class TestReadFrame:
+    def test_reads_one_frame(self):
+        assert read_one(encode_frame({"ok": True})) == {"ok": True}
+
+    def test_clean_eof_returns_none(self):
+        assert read_one(b"") is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            read_one(b"\x00\x00")
+
+    def test_eof_mid_frame_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_one(encode_frame({"op": "stats"})[:-3])
+
+    def test_oversized_header_rejected_before_reading_payload(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_one(header, eof=False)
+
+    def test_two_frames_back_to_back(self):
+        async def both():
+            r = asyncio.StreamReader()
+            r.feed_data(encode_frame({"n": 1}) + encode_frame({"n": 2}))
+            r.feed_eof()
+            return await read_frame(r), await read_frame(r), await read_frame(r)
+
+        first, second, third = asyncio.run(both())
+        assert (first, second, third) == ({"n": 1}, {"n": 2}, None)

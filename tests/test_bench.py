@@ -18,6 +18,7 @@ EXPECTED_BENCHMARKS = {
     "perf_kernels",
     "tracing_overhead",
     "scenario_sweep",
+    "service_throughput",
 }
 
 
@@ -114,6 +115,18 @@ class TestRunBench:
         import math
 
         assert all(math.isfinite(r["final_divnorm"]) for r in sweep["scenarios"])
+
+    def test_service_throughput_warm_path_is_cache_served(self, ci_report):
+        svc = next(
+            b for b in ci_report["benchmarks"] if b["name"] == "service_throughput"
+        )
+        assert svc["cold_completed"] == svc["params"]["jobs"]
+        assert svc["all_warm_cached"]
+        assert svc["cold_jobs_per_second"] > 0
+        assert svc["warm_jobs_per_second"] > 0
+        # cache-served jobs skip simulation entirely; even with service
+        # overhead the warm path must not be slower than simulating
+        assert svc["cache_speedup"] > 1.0
 
     def test_scenario_sweep_restricts_to_one(self):
         from repro.benchmark import _bench_scenario_sweep
