@@ -19,16 +19,20 @@ import hashlib
 import json
 import warnings
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 __all__ = ["JobSpec", "JobResult", "SOLVER_CHOICES", "CACHE_KEY_VERSION"]
 
 #: version field folded into every :meth:`JobSpec.cache_key`; bump it when
 #: the semantic-field set or the canonicalisation changes, so stale cache
-#: entries and checkpoints can never be mistaken for current ones
-CACHE_KEY_VERSION = 1
+#: entries and checkpoints can never be mistaken for current ones.
+#: v2: ``model_dir`` is content-addressed (weights-manifest digest) instead
+#: of canonicalising the directory *path* — retraining in place now re-keys
+#: the job, and relocating identical weights keeps its key.
+CACHE_KEY_VERSION = 2
 
 #: solver identifiers a JobSpec may request
-SOLVER_CHOICES = ("pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn")
+SOLVER_CHOICES = ("pcg", "jacobi-pcg", "jacobi", "multigrid", "spectral", "nn", "nn-pcg")
 
 
 @dataclass(frozen=True)
@@ -55,10 +59,12 @@ class JobSpec:
         Keyword arguments forwarded to the solver constructor (e.g.
         ``{"tol": 1e-4}`` for PCG, ``{"passes": 2}`` for NN).
     model_dir:
-        For ``solver="nn"``: directory saved by :func:`repro.io.save_model`
-        holding trained weights.  ``None`` builds a seeded untrained
-        Tompson-style network (useful for throughput work; quality then
-        leans on the defect-correction passes and the divergence guard).
+        For ``solver="nn"`` / ``solver="nn-pcg"``: directory saved by
+        :func:`repro.io.save_model` holding trained weights.  ``None``
+        builds a seeded untrained Tompson-style network (useful for
+        throughput work; the pure-NN solver then leans on the
+        defect-correction passes and the divergence guard, while nn-pcg's
+        safeguard keeps it exact regardless).
     divnorm_limit:
         Quality requirement: if a step's DivNorm exceeds this (or is not
         finite) the run is declared *diverged* and degrades to exact PCG.
@@ -124,13 +130,39 @@ class JobSpec:
 
         return parse_scenario(self.scenario)
 
+    def _weights_fingerprint(self) -> dict | None:
+        """Content address of the model weights (``None`` without a model).
+
+        A manifest digest: SHA-256 over each file's relative name and
+        content hash, sorted, covering everything under ``model_dir``
+        (``arch.json``/``weights.npz``/``meta.json`` for
+        :func:`repro.io.save_model` outputs).  Identical weights keep the
+        same fingerprint wherever the directory lives; retraining in place
+        changes it.  A missing/empty directory falls back to the raw path
+        (``{"path": ...}`` — structurally distinct from any digest) so key
+        computation never raises for not-yet-materialised weights.
+        """
+        if self.model_dir is None:
+            return None
+        root = Path(self.model_dir)
+        files = sorted(p for p in root.rglob("*") if p.is_file()) if root.is_dir() else []
+        if not files:
+            return {"path": str(self.model_dir)}
+        h = hashlib.sha256()
+        for p in files:
+            h.update(p.relative_to(root).as_posix().encode("utf-8"))
+            h.update(b"\0")
+            h.update(hashlib.sha256(p.read_bytes()).digest())
+        return {"sha256": h.hexdigest()}
+
     def _semantic_payload(self, with_steps: bool) -> dict:
         """The canonical document behind :meth:`cache_key`/:attr:`state_key`.
 
         Only fields that determine what the simulation *computes* appear;
         ``job_id``, checkpointing cadence/paths, timeouts, retry budgets
         and fault injection change how a job runs, never its output, and
-        are deliberately excluded.
+        are deliberately excluded.  Model weights enter by *content*
+        (:meth:`_weights_fingerprint`), never by path.
         """
         payload = {
             "v": CACHE_KEY_VERSION,
@@ -139,7 +171,7 @@ class JobSpec:
             "seed": self.seed,
             "solver": self.solver,
             "solver_params": self.solver_params,
-            "model_dir": self.model_dir,
+            "model_weights": self._weights_fingerprint(),
             "divnorm_limit": self.divnorm_limit,
         }
         if with_steps:
@@ -157,7 +189,7 @@ class JobSpec:
 
         The SHA-256 hex digest of a canonical JSON document over the fields
         that determine the simulation's output — scenario, grid size, seed,
-        step budget, solver + parameters, model weights directory and the
+        step budget, solver + parameters, model weights *content* and the
         DivNorm requirement — so two specs with equal keys produce
         bit-identical results.  The serve tier's result cache
         (:mod:`repro.serve.cache`) is addressed by this key.

@@ -97,6 +97,19 @@ def build_solver(spec: JobSpec, kind: str, metrics: MetricsRegistry):
             channels = params.pop("channels", 4)
             model = tompson_arch(channels).build(rng=spec.seed)
         return NNProjectionSolver(model, passes=passes, metrics=metrics, **params)
+    if kind == "nn-pcg":
+        from repro.fluid import NNPCGSolver
+
+        if spec.model_dir is not None:
+            from repro.io import load_model
+
+            model = load_model(spec.model_dir).network
+        else:
+            from repro.models import tompson_arch
+
+            channels = params.pop("channels", 4)
+            model = tompson_arch(channels).build(rng=spec.seed)
+        return NNPCGSolver(model, metrics=metrics, **params)
     raise ValueError(f"unknown solver kind {kind!r}")
 
 

@@ -204,6 +204,32 @@ class PCGSolver(PressureSolver):
         self._prev_pressure = None
         self._prev_key = None
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Warm-start state as checkpointable arrays (empty when cold).
+
+        The warm-start seed is *simulation state*, not a cache: a resumed
+        run whose solver lost it would seed the next solve differently and
+        diverge bit-for-bit from the uninterrupted trajectory.
+        :meth:`repro.fluid.FluidSimulator.save_state` persists these under
+        ``solver/`` keys; geometry caches still rebuild on resume.
+        """
+        if self._prev_pressure is None or self._prev_key is None:
+            return {}
+        shape, raw = self._prev_key
+        return {
+            "prev_pressure": self._prev_pressure.copy(),
+            "prev_solid": np.frombuffer(raw, dtype=np.bool_).reshape(shape).copy(),
+        }
+
+    def load_state_arrays(self, state: dict[str, np.ndarray]) -> None:
+        """Restore the warm-start seed saved by :meth:`state_arrays`."""
+        if "prev_pressure" not in state:
+            return
+        self._prev_pressure = np.asarray(state["prev_pressure"], dtype=np.float64).copy()
+        self._prev_key = MaskKeyedCache.key_of(
+            np.asarray(state["prev_solid"], dtype=np.bool_)
+        )
+
     def _precondition(self, solid: np.ndarray, metrics: MetricsRegistry):
         if self.preconditioner == "mic0":
             mic = self._mic_cache.get(solid, lambda: MIC0Preconditioner(solid), metrics)

@@ -327,8 +327,11 @@ class FluidSimulator:
         diagnostics continuity.  It deliberately excludes the solver
         (rebuilt from configuration; its per-geometry caches repopulate on
         the first post-restore step) and the per-step records (their
-        ``ProjectionInfo`` is diagnostic, not state).  The dict is
-        ``np.savez``-compatible; see :mod:`repro.farm.checkpoint`.
+        ``ProjectionInfo`` is diagnostic, not state) — but solver-held
+        *simulation state* (a warm-start seed) rides along under
+        ``solver/`` keys, since losing it would break bit-for-bit resume.
+        The dict is ``np.savez``-compatible; see
+        :mod:`repro.farm.checkpoint`.
         """
         g = self.grid
         state = {
@@ -349,6 +352,11 @@ class FluidSimulator:
         if self.source is not None and hasattr(self.source, "state_arrays"):
             for key, value in self.source.state_arrays().items():
                 state[f"scenario/{key}"] = value
+        # solver-held simulation state (PCG warm-start seed) rides along the
+        # same way, so a resumed run seeds its next solve identically
+        if hasattr(self.solver, "state_arrays"):
+            for key, value in self.solver.state_arrays().items():
+                state[f"solver/{key}"] = value
         return state
 
     def load_state(self, state: dict[str, np.ndarray]) -> None:
@@ -357,9 +365,10 @@ class FluidSimulator:
         The grid must have the same resolution as the snapshot.  Restoring
         replaces the flags (and hence the DivNorm weights, recomputed from
         the restored solid mask), resets the per-step records, and asks the
-        solver to drop caches keyed on the old geometry.  A restored run
-        continues bit-for-bit identically to the original, provided the
-        solver is history-independent (warm-start off — the default).
+        solver to drop caches keyed on the old geometry.  Solver state
+        persisted under ``solver/`` keys (the PCG warm-start seed) is
+        restored after the reset, so a restored run continues bit-for-bit
+        identically to the original even with warm-start on.
         """
         g = self.grid
         u, v = np.asarray(state["u"]), np.asarray(state["v"])
@@ -399,3 +408,8 @@ class FluidSimulator:
             ]
         if hasattr(self.solver, "reset"):
             self.solver.reset()
+        solver_state = {
+            k[len("solver/"):]: v for k, v in state.items() if k.startswith("solver/")
+        }
+        if solver_state and hasattr(self.solver, "load_state_arrays"):
+            self.solver.load_state_arrays(solver_state)

@@ -10,10 +10,12 @@ enforces all three at submission time and raises **typed** errors
 wire protocol can distinguish "slow down" from "you already have too much
 queued" without parsing message strings.
 
-Cache hits deliberately bypass admission: serving a content-addressed
-result costs microseconds and no worker time, so repeat requests for
-popular configurations — the common case at production scale — are never
-throttled.
+Cache hits bypass only the *pending* cap: serving a content-addressed
+result costs microseconds and no worker time, so it never occupies a
+queue slot — but it is still a submission, and :meth:`AdmissionController.
+charge` bills it to the tenant's token bucket.  Without that charge, a
+tenant could hammer popular cached specs at unbounded rate, converting
+the cache into a rate-limit escape hatch.
 
 The controller takes an injectable ``clock`` so quota behaviour is
 deterministic under test.
@@ -189,6 +191,26 @@ class AdmissionController:
                     tenant=tenant,
                 )
             state.pending += 1
+            state.admitted += 1
+
+    def charge(self, tenant: str) -> None:
+        """Bill one rate token without occupying a pending slot.
+
+        The admission path for requests that cost no worker time (result
+        -cache hits): the pending cap does not apply, but the submission
+        still drains the tenant's token bucket so cached specs cannot be
+        hammered at unbounded rate.  Raises :class:`QuotaExceededError`
+        when the bucket is empty.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            if not state.bucket.try_take(1.0):
+                state.rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded its submission rate "
+                    f"(rate={state.quota.rate}/s, burst={state.quota.burst})",
+                    tenant=tenant,
+                )
             state.admitted += 1
 
     def release(self, tenant: str) -> None:

@@ -4,10 +4,10 @@
 over a resizable :class:`repro.farm.pool.Pool` of simulation workers:
 
 * **submit** consults the content-addressed :class:`~repro.serve.cache.
-  ResultCache` first (a hit is answered instantly, bypassing admission —
-  it costs no worker time), then per-tenant
-  :class:`~repro.serve.admission.AdmissionController` quotas, then
-  enqueues into the pool at the requested priority.
+  ResultCache` first (a hit is answered instantly and skips the pending
+  cap — it costs no worker time — but still drains one rate token), then
+  per-tenant :class:`~repro.serve.admission.AdmissionController` quotas,
+  then enqueues into the pool at the requested priority.
 * an :class:`~repro.serve.autoscaler.Autoscaler` grows and shrinks the
   worker fleet with queue depth; shrink always drains, never kills.
 * worker telemetry events are bridged from pool threads onto the event
@@ -292,7 +292,8 @@ class SimulationService:
         :class:`DuplicateJobError`, :class:`ShuttingDownError`, or an
         :class:`~repro.serve.admission.AdmissionError` subclass.  A result
         -cache hit completes the job immediately (``cached=True`` in the
-        summary) without consuming quota or worker time.
+        summary) without worker time or a pending slot — but it still
+        drains one rate token, so cached specs stay rate-limited.
         """
         if self.pool is None:
             raise RuntimeError("service not started")
@@ -311,6 +312,13 @@ class SimulationService:
         if self.cache is not None:
             hit = self.cache.get(spec.cache_key())
             if hit is not None:
+                # a hit costs no worker time (no pending slot) but is still
+                # a submission: bill the tenant's token bucket
+                try:
+                    self.admission.charge(tenant)
+                except ServeError:
+                    self.metrics.inc("serve/rejected")
+                    raise
                 # re-badge the stored result as *this* job's answer
                 served = JobResult.from_dict({**hit.to_dict(), "job_id": spec.job_id})
                 served.cached = True

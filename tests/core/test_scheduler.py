@@ -92,6 +92,30 @@ class TestSwitchingBehaviour:
             run_sim(ctl)
         assert ctl.stats.restart_requested
 
+    def test_escalates_to_nn_precond_instead_of_restarting(self):
+        from repro.fluid import NNPCGSolver
+
+        cands = [make_selected("only", 1.0, 0.9)]
+        knn = make_knn({"only": 0.9})  # always predicted to violate
+        nn_pcg = NNPCGSolver(cands[0].model.network)
+        ctl = AdaptiveController(cands, knn, 0.01, 16, nn_pcg=nn_pcg)
+        res = run_sim(ctl)  # no RestartRequested
+        assert len(res.records) == 16
+        assert not ctl.stats.restart_requested
+        assert ctl.stats.nn_precond_step is not None
+        # all post-escalation steps are accounted to the exact solver
+        assert ctl.stats.steps_per_model.get(nn_pcg.name, 0) > 0
+
+    def test_escalation_records_a_switch_event(self):
+        from repro.fluid import NNPCGSolver
+
+        cands = [make_selected("only", 1.0, 0.9)]
+        knn = make_knn({"only": 0.9})
+        nn_pcg = NNPCGSolver(cands[0].model.network)
+        ctl = AdaptiveController(cands, knn, 0.01, 16, nn_pcg=nn_pcg)
+        run_sim(ctl)
+        assert any(s.to_model == nn_pcg.name for s in ctl.stats.switches)
+
     def test_upgrade_only_sticks_after_satisfied(self):
         cands = [make_selected("fast", 1.0, 0.5), make_selected("slow", 2.0, 0.9, rng=1)]
         knn = make_knn({"fast": 0.0001, "slow": 0.0001})

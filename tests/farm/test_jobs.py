@@ -54,9 +54,10 @@ class TestCacheKey:
     #: *format regression pin*: any change to the semantic-field set or the
     #: canonicalisation must bump CACHE_KEY_VERSION and re-pin, because a
     #: silent change would mis-address every persisted cache entry
-    PINNED_DEFAULT = "f5c7816f56ac3fa9cb21d64e93cafe217099fe4142ab0ad8dce9835b39e4fd8c"
+    #: (v2: model weights are content-addressed, not path-addressed)
+    PINNED_DEFAULT = "0ab97b06df0f06ea7bc7d63f90dd3c958197018b923a1260e23cfa8de4159656"
     PINNED_DEFAULT_STATE = (
-        "8bb366ef0dcaac766acc3508ebb0592643c0d1f64504acd1e63d494348c30415"
+        "f6ff202d581ad9b40627d52eb59d0c89a8efb11d716329cb0a9967eb86f41b6e"
     )
 
     def test_hash_format_is_pinned(self):
@@ -106,6 +107,37 @@ class TestCacheKey:
         assert JobSpec(job_id="j", steps=32).state_key == a.state_key
         assert JobSpec(job_id="j", steps=32).cache_key() != a.cache_key()
         assert JobSpec(job_id="j", seed=5).state_key != a.state_key
+
+    def test_relocated_identical_weights_keep_the_key(self, tmp_path):
+        import shutil
+
+        a = tmp_path / "a"
+        a.mkdir()
+        (a / "arch.json").write_text('{"stages": 5}')
+        (a / "weights.npz").write_bytes(b"\x01\x02\x03weights")
+        b = tmp_path / "elsewhere" / "b"
+        shutil.copytree(a, b)
+        key_a = JobSpec(job_id="j", solver="nn", model_dir=str(a)).cache_key()
+        key_b = JobSpec(job_id="j", solver="nn", model_dir=str(b)).cache_key()
+        assert key_a == key_b
+        # ...but different weights at either path re-key
+        (b / "weights.npz").write_bytes(b"other")
+        assert JobSpec(job_id="j", solver="nn", model_dir=str(b)).cache_key() != key_a
+
+    def test_retraining_in_place_changes_the_key(self, tmp_path):
+        d = tmp_path / "m"
+        d.mkdir()
+        (d / "weights.npz").write_bytes(b"old weights")
+        spec = JobSpec(job_id="j", solver="nn", model_dir=str(d))
+        before = spec.cache_key()
+        (d / "weights.npz").write_bytes(b"new weights")  # same path, new content
+        assert spec.cache_key() != before
+
+    def test_missing_model_dir_falls_back_to_the_path(self, tmp_path):
+        a = JobSpec(job_id="j", solver="nn", model_dir=str(tmp_path / "not-yet-a"))
+        b = JobSpec(job_id="j", solver="nn", model_dir=str(tmp_path / "not-yet-b"))
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() == a.cache_key()  # deterministic without IO
 
 
 class TestJobResult:

@@ -149,3 +149,85 @@ class TestAdmissionController:
         assert snap["t"]["admitted"] == 1
         assert snap["t"]["rejected"] == 1
         assert snap["t"]["pending"] == 1
+
+
+class TestCharge:
+    """The cache-hit admission path: rate-billed, pending-cap exempt."""
+
+    def controller(self, clock=None, **quota) -> AdmissionController:
+        return AdmissionController(
+            default_quota=TenantQuota(**quota), clock=clock or Clock()
+        )
+
+    def test_charge_drains_the_same_bucket_as_admit(self):
+        ctrl = self.controller(rate=1.0, burst=2, max_pending=None)
+        ctrl.charge("t")
+        ctrl.admit("t")
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("t")
+
+    def test_charge_raises_quota_exceeded_when_empty(self):
+        ctrl = self.controller(rate=1.0, burst=1, max_pending=None)
+        ctrl.charge("t")
+        with pytest.raises(QuotaExceededError) as exc_info:
+            ctrl.charge("t")
+        assert exc_info.value.code == "quota_exceeded"
+        assert exc_info.value.tenant == "t"
+
+    def test_charge_never_occupies_a_pending_slot(self):
+        ctrl = self.controller(rate=None, burst=8, max_pending=1)
+        for _ in range(5):
+            ctrl.charge("t")
+        assert ctrl.pending("t") == 0
+        ctrl.admit("t")  # the cap was untouched by the charges
+
+    def test_charge_refills_at_rate(self):
+        clock = Clock()
+        ctrl = self.controller(clock=clock, rate=1.0, burst=1, max_pending=None)
+        ctrl.charge("t")
+        with pytest.raises(QuotaExceededError):
+            ctrl.charge("t")
+        clock.advance(1.0)
+        ctrl.charge("t")  # no raise
+
+
+class TestCacheHitsAreRateLimited:
+    """Regression: serve's cache hits must drain the tenant's token bucket.
+
+    Before the fix, a cache hit skipped admission entirely, so one tenant
+    could hammer a popular cached spec at unbounded rate.
+    """
+
+    def test_cache_hits_charge_the_token_bucket(self, tmp_path):
+        import asyncio
+
+        from repro.farm import JobSpec
+        from repro.serve import SimulationService
+
+        service = SimulationService(
+            cache_dir=tmp_path / "cache",
+            checkpoint_dir=tmp_path / "ckpt",
+            min_workers=1,
+            max_workers=1,
+            # rate so slow the bucket never meaningfully refills in-test
+            default_quota=TenantQuota(rate=0.001, burst=3.0, max_pending=1),
+        )
+
+        def spec(job_id: str) -> JobSpec:
+            return JobSpec(job_id=job_id, grid_size=16, seed=3, steps=2)
+
+        async def run():
+            await service.start()
+            service.submit(spec("warm"), tenant="producer")
+            assert (await service.result("warm", timeout=60.0)).ok
+
+            # burst=3: two hits pass (pending cap of 1 does NOT apply to
+            # them), the third exhausts the bucket and must be rejected
+            assert service.submit(spec("hit-1"), tenant="hammer")["cached"]
+            assert service.submit(spec("hit-2"), tenant="hammer")["cached"]
+            with pytest.raises(QuotaExceededError):
+                for k in range(50):  # pre-fix: all 50 sail through
+                    service.submit(spec(f"hit-x{k}"), tenant="hammer")
+            await service.stop(drain=True, timeout=60.0)
+
+        asyncio.run(run())

@@ -18,6 +18,7 @@ EXPECTED_BENCHMARKS = {
     "perf_kernels",
     "tracing_overhead",
     "scenario_sweep",
+    "nn_pcg",
     "service_throughput",
 }
 
@@ -115,6 +116,14 @@ class TestRunBench:
         import math
 
         assert all(math.isfinite(r["final_divnorm"]) for r in sweep["scenarios"])
+
+    def test_nn_pcg_cuts_iterations_with_pinned_weights(self, ci_report):
+        nn = next(b for b in ci_report["benchmarks"] if b["name"] == "nn_pcg")
+        assert nn["pinned_weights"], "committed bench weights not found"
+        assert nn["all_converged"]
+        assert len(nn["scenarios"]) == 4
+        # the CI gate: at least two fallback-prone scenarios at 2x or better
+        assert nn["second_best_iteration_ratio"] >= 2.0
 
     def test_service_throughput_warm_path_is_cache_served(self, ci_report):
         svc = next(

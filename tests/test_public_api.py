@@ -35,7 +35,7 @@ def test_module_docstrings(package):
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.7.0"
+    assert repro.__version__ == "1.9.0"
 
 
 def test_top_level_framework_importable():
