@@ -94,7 +94,7 @@ from .fluid import (
 from .farm import FarmReport, JobResult, JobSpec, SimulationFarm
 from .models import NNProjectionSolver
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     # framework

@@ -47,6 +47,14 @@ Benchmarks
     path must be a no-op: ``overhead_ratio`` (enabled/disabled wall time)
     is gated in CI at 1.05, holding the tracing instrumentation to <5%
     even when *on*.
+``metrics_overhead``
+    The same pinned simulation (64x64, 8 steps, interleaved reps) with
+    metrics disabled (``NULL_METRICS``, the library default) vs. a live
+    :class:`repro.metrics.MetricsRegistry` collecting the flat counters
+    *and* the labeled metric families (``sim_step_seconds``,
+    ``solver_iterations``).  Same interleaved-pair methodology as
+    ``tracing_overhead``; ``overhead_ratio_best`` is gated in CI at 1.05,
+    holding the full observability layer to <5% even when on.
 ``scenario_sweep``
     One short end-to-end run per registered scenario (smoke plume, inflow
     jets, moving solids, Kármán street, free-surface liquids).  A liveness
@@ -95,7 +103,7 @@ __all__ = ["BenchScale", "SCALES", "run_bench", "write_bench"]
 
 SCHEMA = "repro-bench/v1"
 #: tag of the BENCH_<tag>.json this PR emits
-DEFAULT_TAG = "pr9"
+DEFAULT_TAG = "pr10"
 
 #: committed weights behind the ``nn_pcg`` benchmark (repo-relative)
 PINNED_NN_PCG_MODEL = Path(__file__).resolve().parents[2] / "results" / "models" / "nn_pcg_bench"
@@ -126,6 +134,30 @@ def _time(fn) -> float:
     t0 = time.perf_counter()
     fn()
     return time.perf_counter() - t0
+
+
+def _git_provenance() -> dict:
+    """Best-effort git revision + dirty flag of the benchmarked checkout.
+
+    Stamped next to ``generated_unix`` so a committed baseline records
+    exactly which tree produced it; both fields are ``None`` outside a
+    git checkout (sdist installs, stripped CI caches).
+    """
+    import subprocess
+
+    root = Path(__file__).resolve().parents[2]
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=10, check=True,
+        ).stdout
+        return {"git_revision": rev, "git_dirty": bool(status.strip())}
+    except Exception:
+        return {"git_revision": None, "git_dirty": None}
 
 
 def _poisson_problem(grid_size: int, seed: int):
@@ -461,6 +493,65 @@ def _bench_tracing_overhead(
     }
 
 
+def _bench_metrics_overhead(
+    scale: BenchScale, seed: int = 0, grid: int = 64, steps: int = 8
+) -> dict:
+    """Simulation wall time with metrics disabled vs. fully enabled.
+
+    The disabled run uses :data:`repro.metrics.NULL_METRICS` (the no-op
+    registry, the library-wide steady state), so ``disabled_seconds``
+    measures the dead-branch cost left in the hot paths; the enabled run
+    passes a live :class:`repro.metrics.MetricsRegistry`, which collects
+    the flat counters/timers *and* the labeled metric families
+    (``sim_step_seconds{solver}``, ``solver_iterations{solver}``) the
+    Prometheus exposition serves.  Methodology is identical to
+    ``tracing_overhead`` — interleaved disabled/enabled reps, the median
+    of per-pair ratios as the headline, and ``overhead_ratio_best`` (the
+    minimum pairwise ratio, the pair least disturbed by ambient load) as
+    the CI gate at 1.05.  The workload is *pinned* at 64x64 and 8 steps
+    for every scale so the gated run stays ~0.1 s, keeping timing noise
+    well under the 5% threshold.
+    """
+    from repro.data import InputProblem
+    from repro.fluid import FluidSimulator, PCGSolver
+    from repro.metrics import NULL_METRICS, MetricsRegistry
+
+    reps = max(5, scale.solve_reps)
+
+    def run_sim(metrics) -> float:
+        g, source = InputProblem(grid, seed).materialize()
+        sim = FluidSimulator(
+            g, PCGSolver(metrics=metrics), source, metrics=metrics
+        )
+        return _time(lambda: sim.run(steps))
+
+    run_sim(NULL_METRICS)  # warm caches (BLAS threads, allocator) outside the timing
+    enabled = MetricsRegistry()
+    disabled_times, enabled_times = [], []
+    for _ in range(reps):
+        disabled_times.append(run_sim(NULL_METRICS))
+        enabled_times.append(run_sim(enabled))
+    pair_ratios = sorted(
+        e / d if d > 0 else float("inf")
+        for d, e in zip(disabled_times, enabled_times)
+    )
+    mid = len(pair_ratios) // 2
+    if len(pair_ratios) % 2:
+        ratio = pair_ratios[mid]
+    else:
+        ratio = 0.5 * (pair_ratios[mid - 1] + pair_ratios[mid])
+    return {
+        "name": "metrics_overhead",
+        "params": {"grid": grid, "steps": steps, "reps": reps, "seed": seed},
+        "disabled_seconds": min(disabled_times),
+        "enabled_seconds": min(enabled_times),
+        "overhead_ratio": ratio,
+        "overhead_ratio_best": pair_ratios[0],
+        "counters_recorded": len(enabled.counters),
+        "families_recorded": len(enabled.families),
+    }
+
+
 def _bench_scenario_sweep(scale: BenchScale, seed: int = 0, scenario: str | None = None) -> dict:
     """One short end-to-end run per registered scenario.
 
@@ -713,6 +804,7 @@ def run_bench(scale: str = "default", seed: int = 0, scenario: str | None = None
         _bench_farm_throughput(s, seed),
         _bench_perf_kernels(s, seed),
         _bench_tracing_overhead(s, seed),
+        _bench_metrics_overhead(s, seed),
         _bench_scenario_sweep(s, seed, scenario),
         _bench_nn_pcg(s, seed),
         _bench_service_throughput(s, seed),
@@ -722,6 +814,7 @@ def run_bench(scale: str = "default", seed: int = 0, scenario: str | None = None
         "tag": DEFAULT_TAG,
         "scale": scale,
         "generated_unix": time.time(),
+        **_git_provenance(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "benchmarks": benchmarks,

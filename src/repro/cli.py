@@ -13,6 +13,7 @@ Commands
 ``top``          run a farm fleet with a live terminal status view
 ``serve``        run the simulation service on a local unix socket
 ``submit``       submit one job to a running service and await the result
+``health``       query a running service's SLO burn-rate health report
 ``trace``        summarise or dump a trace file written by ``--trace``
 
 ``simulate``, ``farm``, ``top`` and ``bench`` share one ``--scenario``
@@ -274,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=None,
         help="seconds to wait for in-flight jobs at shutdown (default: unbounded)",
     )
+    srv.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose Prometheus metrics on http://127.0.0.1:PORT/metrics "
+        "(0 picks a free port; default: scrape endpoint disabled)",
+    )
 
     sbm = sub.add_parser(
         "submit",
@@ -307,6 +313,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sbm.add_argument(
         "--json", action="store_true", help="emit the full JobResult as JSON"
+    )
+
+    hlt = sub.add_parser(
+        "health", help="query a running service's SLO burn-rate health report"
+    )
+    hlt.add_argument(
+        "--socket", type=str, default="repro-serve.sock",
+        help="unix socket path of the running service",
+    )
+    hlt.add_argument(
+        "--json", action="store_true", help="emit the full health report as JSON"
     )
 
     trc = sub.add_parser(
@@ -598,8 +615,11 @@ def _cmd_bench(args) -> int:
     output = args.output or f"BENCH_{DEFAULT_TAG}.json"
     path = write_bench(report, output)
     cache = next(b for b in report["benchmarks"] if b["name"] == "pcg_geometry_cache")
+    rev = report.get("git_revision") or "unknown"
+    if report.get("git_dirty"):
+        rev += "+dirty"
     print(
-        f"wrote {path} ({args.scale} scale): repeated-geometry PCG speedup "
+        f"wrote {path} ({args.scale} scale, rev {rev}): repeated-geometry PCG speedup "
         f"{cache['speedup']:.3f}x (cold {cache['cold_seconds']:.4f}s, "
         f"cached {cache['cached_seconds']:.4f}s)"
     )
@@ -700,9 +720,39 @@ def _cmd_farm(args) -> int:
 
 def _cmd_top(args) -> int:
     from repro.farm import LiveRenderer
+    from repro.obs import SeriesRecorder, SLOEngine, default_farm_slos
 
     farm = _build_farm(args)
-    with LiveRenderer(farm.fleet, interval=args.interval):
+    # live SLO panel: sample the farm's merged flat counters each repaint
+    # and surface any burning objectives under the fleet table
+    counters = farm.metrics.counters
+    recorder = SeriesRecorder(interval=min(1.0, max(0.1, args.interval)))
+
+    def flat(*names: str):
+        return lambda: sum(counters.get(n, 0.0) for n in names)
+
+    recorder.add_source("farm_jobs", flat("farm/jobs"))
+    recorder.add_source("farm_jobs_failed", flat("farm/jobs_failed"))
+    recorder.add_source("farm_degradations", flat("farm/degradations"))
+    recorder.add_source("farm_resumes", flat("farm/resumes"))
+    engine = SLOEngine(recorder, default_farm_slos())
+
+    def alerts() -> list[str]:
+        recorder.tick()
+        lines = []
+        for status in engine.evaluate():
+            if status.state in ("warning", "critical"):
+                value = (
+                    f"{status.value:.3g}"
+                    if isinstance(status.value, (int, float))
+                    else "--"
+                )
+                lines.append(
+                    f"[{status.state}] {status.name}: {status.objective} (value {value})"
+                )
+        return lines
+
+    with LiveRenderer(farm.fleet, interval=args.interval, alerts_fn=alerts):
         report = farm.run(_build_farm_specs(args))
     _write_farm_trace(farm, args.trace)
     _print_farm_report(args, report)
@@ -730,6 +780,15 @@ def _cmd_serve(args) -> int:
         await service.start()
         server = ServiceServer(service, args.socket)
         await server.start()
+        scrape = None
+        if args.metrics_port is not None:
+            from repro.obs import ScrapeServer
+
+            scrape = ScrapeServer(service.metrics_text, port=args.metrics_port)
+            port = scrape.start()
+            print(
+                f"metrics on http://127.0.0.1:{port}/metrics", file=sys.stderr
+            )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
@@ -744,6 +803,8 @@ def _cmd_serve(args) -> int:
         # graceful shutdown: stop accepting, drain in-flight jobs, persist
         # the cache index (service.stop flushes it)
         print("shutting down: draining in-flight jobs", file=sys.stderr)
+        if scrape is not None:
+            scrape.stop()
         await server.stop()
         drained = await service.stop(drain=True, timeout=args.drain_timeout)
         try:
@@ -814,6 +875,45 @@ def _cmd_submit(args) -> int:
         return 2
 
 
+def _cmd_health(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeError, ServiceClient
+
+    async def run() -> int:
+        async with await ServiceClient.open(args.socket) as client:
+            health = await client.health()
+        if args.json:
+            print(json.dumps(health, indent=2))
+            return 0 if health.get("state") in ("ok", "no_data") else 1
+        print(f"state: {health.get('state', '?')}")
+        for slo in health.get("slos", []):
+            value = slo.get("value")
+            shown = f"{value:.4g}" if isinstance(value, (int, float)) else "--"
+            print(
+                f"  [{slo.get('state', '?'):<8}] {slo.get('name')}: "
+                f"{slo.get('objective')}  value={shown}"
+            )
+            for tier in slo.get("tiers", []):
+                if tier.get("firing"):
+                    print(
+                        f"      burn[{tier['severity']}]: "
+                        f"short={tier['short_burn']:.2f}x "
+                        f"long={tier['long_burn']:.2f}x "
+                        f"(threshold {tier['factor']}x)"
+                    )
+        return 0 if health.get("state") in ("ok", "no_data") else 1
+
+    try:
+        return asyncio.run(run())
+    except ServeError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(f"error: no service listening on {args.socket}", file=sys.stderr)
+        return 2
+
+
 def _cmd_trace(args) -> int:
     from repro.trace import format_summary, read_trace
 
@@ -852,6 +952,7 @@ def main(argv: list[str] | None = None) -> int:
         "top": _cmd_top,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "health": _cmd_health,
         "trace": _cmd_trace,
     }[args.command](args)
 

@@ -93,6 +93,7 @@ class AdaptiveController:
         upgrade_only: bool = False,
         nn_pcg=None,
         metrics: MetricsRegistry | None = None,
+        scenario: str = "smoke_plume",
     ):
         if not candidates:
             raise ValueError("need at least one candidate model")
@@ -115,6 +116,9 @@ class AdaptiveController:
         #: switches to it in place instead of raising RestartRequested
         self.nn_pcg = nn_pcg
         self._metrics = metrics
+        #: scenario label on the controller's decision counters (registry
+        #: name only — parameters would blow label cardinality)
+        self.scenario = scenario.split(":", 1)[0] if scenario else "smoke_plume"
         self._satisfied = False
         self._escalated = False
 
@@ -179,12 +183,25 @@ class AdaptiveController:
         self._decide(sim, step, q_pred)
 
     # ------------------------------------------------------------------
+    def _event_counter(self):
+        """The labeled Algorithm 2 decision counter (fork-safe: resolved
+        against the live default registry at event time, not construction)."""
+        m = self._metrics if self._metrics is not None else get_metrics()
+        return m.families.counter(
+            "scheduler_events_total",
+            help="Algorithm 2 decisions by event, target solver and scenario.",
+            labels=("event", "solver", "scenario"),
+        )
+
     def _switch(self, sim: FluidSimulator, step: int, new_idx: int, q_pred: float) -> None:
         old = self.current.name
         self._idx = new_idx
         sim.solver = self._solvers[self.current.name]
         m = self._metrics if self._metrics is not None else get_metrics()
         m.inc("adaptive/switches")
+        self._event_counter().inc(
+            event="model_switch", solver=self.current.name, scenario=self.scenario
+        )
         self.stats.switches.append(
             SwitchEvent(step=step, from_model=old, to_model=self.current.name, predicted_qloss=q_pred)
         )
@@ -234,6 +251,9 @@ class AdaptiveController:
                 )
             )
             m.inc("adaptive/nn_preconds")
+            self._event_counter().inc(
+                event="nn_precond", solver=self.nn_pcg.name, scenario=self.scenario
+            )
             get_tracer().event(
                 "nn_precond",
                 step=step,
@@ -245,6 +265,9 @@ class AdaptiveController:
             return
         self.stats.restart_requested = True
         m.inc("adaptive/restarts")
+        self._event_counter().inc(
+            event="pcg_fallback", solver="pcg", scenario=self.scenario
+        )
         get_tracer().event(
             "pcg_fallback",
             step=step,

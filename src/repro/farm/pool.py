@@ -537,6 +537,27 @@ class Pool:
         self._excess = 0  # shrink debt: workers asked to exit at the next boundary
         self._seq = 0
         self._queued: dict[str, JobSpec] = {}
+        self._queued_at: dict[str, float] = {}
+        # per-job lifecycle latencies, derived from the pool's own event
+        # stream (submit -> pickup -> terminal); worker-side labeled series
+        # ride home inside result.metrics and fold in _deliver's merge
+        families = self.metrics.families
+        self._queue_wait_hist = families.histogram(
+            "farm_queue_wait_seconds",
+            help="Submit-to-pickup wait of pool jobs.",
+            unit="seconds",
+        )
+        self._job_run_hist = families.histogram(
+            "farm_job_run_seconds",
+            help="Worker-side job execution time by terminal status.",
+            labels=("status",),
+            unit="seconds",
+        )
+        self._jobs_by_status = families.counter(
+            "farm_jobs_total",
+            help="Terminal pool jobs by status.",
+            labels=("status",),
+        )
         self._cancelled_queued: set[str] = set()
         self._running: dict[str, threading.Event] = {}
         self._shutdown = False
@@ -579,6 +600,7 @@ class Pool:
                 raise ValueError(f"job_id {spec.job_id!r} is already in the pool")
             self._seq += 1
             self._queued[spec.job_id] = spec
+            self._queued_at[spec.job_id] = time.monotonic()
             self._queue.put((priority, self._seq, spec))
         self.metrics.inc("farm/pool/submitted")
 
@@ -672,6 +694,7 @@ class Pool:
             "farm/jobs_completed" if result.ok else
             ("farm/pool/cancelled" if result.status == "cancelled" else "farm/jobs_failed")
         )
+        self._jobs_by_status.inc(status=result.status)
         if self.on_result is not None:
             self.on_result(result)
 
@@ -690,6 +713,7 @@ class Pool:
                 continue
             with self._lock:
                 self._queued.pop(spec.job_id, None)
+                queued_at = self._queued_at.pop(spec.job_id, None)
                 if spec.job_id in self._cancelled_queued:
                     self._cancelled_queued.discard(spec.job_id)
                     cancelled: JobResult | None = JobResult(
@@ -704,7 +728,10 @@ class Pool:
                 with self._idle:
                     self._idle.notify_all()
                 continue
+            if queued_at is not None:
+                self._queue_wait_hist.observe(time.monotonic() - queued_at)
             m = MetricsRegistry()
+            run_started = time.perf_counter()
             try:
                 result = run_job(
                     spec,
@@ -721,6 +748,9 @@ class Pool:
                     error=f"{type(exc).__name__}: {exc}",
                     metrics=m.to_dict(),
                 )
+            self._job_run_hist.observe(
+                time.perf_counter() - run_started, status=result.status
+            )
             with self._idle:
                 self._running.pop(spec.job_id, None)
                 self._idle.notify_all()

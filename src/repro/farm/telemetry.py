@@ -17,6 +17,7 @@ timeline analysis.
 
 from __future__ import annotations
 
+import shutil
 import sys
 import threading
 import time
@@ -98,7 +99,23 @@ class FleetView:
     def __init__(self):
         self._lock = threading.Lock()
         self._jobs: dict[str, JobView] = {}
+        self._counters: dict[str, int] = {}
         self.events_seen = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named fleet counter (admission rejects, cache hits, …).
+
+        Counters are free-form so callers outside the farm (the serve tier)
+        can surface their own tallies in the fleet header without the view
+        needing to know about them up front.
+        """
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of named fleet counters, sorted by name."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def expect(self, job_ids: list[str], steps: dict[str, int] | None = None) -> None:
         """Pre-register jobs so the view shows pending work immediately."""
@@ -152,6 +169,7 @@ class FleetView:
                 view.state = "running"
             elif etype == "pcg_fallback":
                 view.state = "degraded"
+                self._counters["pcg_fallbacks"] = self._counters.get("pcg_fallbacks", 0) + 1
             elif etype == "job_end":
                 status = event.get("status")
                 view.state = status if status in _TERMINAL_STATES else "failed"
@@ -175,6 +193,7 @@ class FleetView:
     def to_dict(self) -> dict:
         return {
             "events_seen": self.events_seen,
+            "counters": self.counters(),
             "jobs": [v.to_dict() for v in self.jobs()],
         }
 
@@ -185,14 +204,27 @@ def _bar(fraction: float, width: int = 16) -> str:
     return "#" * full + "." * (width - full)
 
 
-def render_fleet(fleet: FleetView, now: float | None = None) -> str:
-    """Format the fleet as a fixed-width text table (the ``repro top`` body)."""
+def render_fleet(fleet: FleetView, now: float | None = None, width: int | None = None) -> str:
+    """Format the fleet as a fixed-width text table (the ``repro top`` body).
+
+    ``width`` clamps every line (``None`` probes the terminal via
+    :func:`shutil.get_terminal_size`, falling back to 100 in pipes).  The
+    clamp is a hard truncation, never a crash: a 20-column terminal gets a
+    20-column dashboard.
+    """
     views = fleet.jobs()
     counts = fleet.counts()
+    counters = fleet.counters()
     now = time.time() if now is None else now
+    if width is None:
+        width = shutil.get_terminal_size(fallback=(100, 24)).columns
+    width = max(8, int(width))
     head = "  ".join(f"{state}:{n}" for state, n in sorted(counts.items()))
+    header = f"farm: {len(views)} jobs  {head}"
+    if counters:
+        header += "  |  " + "  ".join(f"{name}:{n}" for name, n in counters.items())
     lines = [
-        f"farm: {len(views)} jobs  {head}",
+        header,
         f"{'JOB':<16} {'STATE':<10} {'PROGRESS':<24} {'DIVNORM':>10} "
         f"{'SOLVER':<10} {'PID':>7} {'AGE':>6}",
     ]
@@ -205,7 +237,7 @@ def render_fleet(fleet: FleetView, now: float | None = None) -> str:
             f"{v.job_id:<16} {v.state:<10} {progress:<24} {divnorm} "
             f"{v.solver:<10} {v.pid if v.pid is not None else '--':>7} {age}"
         )
-    return "\n".join(lines)
+    return "\n".join(line[:width] for line in lines)
 
 
 class LiveRenderer:
@@ -217,15 +249,24 @@ class LiveRenderer:
     it degrades gracefully in logs and pipes.
     """
 
-    def __init__(self, fleet: FleetView, interval: float = 0.5, stream=None):
+    def __init__(self, fleet: FleetView, interval: float = 0.5, stream=None, alerts_fn=None):
         self.fleet = fleet
         self.interval = interval
         self.stream = stream if stream is not None else sys.stderr
+        self.alerts_fn = alerts_fn  # () -> list[str], painted under the table
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
     def _paint(self) -> None:
-        print(render_fleet(self.fleet), file=self.stream, flush=True)
+        frame = render_fleet(self.fleet)
+        if self.alerts_fn is not None:
+            try:
+                alerts = list(self.alerts_fn())
+            except Exception:
+                alerts = []  # the alerts panel must never take the repaint down
+            if alerts:
+                frame += "\nalerts:\n" + "\n".join(f"  {line}" for line in alerts)
+        print(frame, file=self.stream, flush=True)
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):

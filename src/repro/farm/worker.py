@@ -259,8 +259,16 @@ def run_job(
                     break
                 # graceful degradation: the exact method from the last good state
                 degraded = True
+                failed_kind = solver_kind
                 solver_kind = "pcg"
                 m.inc("farm/degradations")
+                # labeled by the solver that *failed*, not the fallback target:
+                # the fleet-level question is "which solver degrades, where"
+                m.families.counter(
+                    "farm_pcg_fallbacks_total",
+                    help="Graceful degradations to exact PCG by failing solver and scenario.",
+                    labels=("solver", "scenario"),
+                ).inc(solver=failed_kind, scenario=spec.scenario.split(":", 1)[0])
                 emit(
                     "pcg_fallback",
                     step=sim.current_step,

@@ -64,6 +64,8 @@ returned pressure is nullspace-free.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.metrics import MetricsRegistry, get_metrics
@@ -271,9 +273,10 @@ class NNPCGSolver(PressureSolver):
         if plan is not None and plan.capacity >= capacity:
             return plan
         tracer = get_tracer()
+        build_started = time.perf_counter()
         try:
             with metrics.timer(f"solver/{self.name}/plan_build"):
-                with tracer.span("plan_build", solver=self.name, capacity=capacity):
+                with tracer.span("plan_build", solver=self.name, capacity=capacity) as bsp:
                     plan = InferencePlan(
                         self.model,
                         (2,) + shape,
@@ -286,6 +289,17 @@ class NNPCGSolver(PressureSolver):
             return None
         self._plans[shape] = plan
         metrics.inc(f"solver/{self.name}/plan_builds")
+        metrics.families.histogram(
+            "nn_plan_build_seconds",
+            help="InferencePlan compile time by solver and precision.",
+            labels=("solver", "precision"),
+            unit="seconds",
+        ).observe(
+            time.perf_counter() - build_started,
+            exemplar=bsp.span_id if bsp is not None else None,
+            solver=self.name,
+            precision=self.precision,
+        )
         tracer.event(
             "plan_build",
             solver=self.name,
@@ -378,6 +392,15 @@ class NNPCGSolver(PressureSolver):
         metrics.inc(f"solver/{self.name}/iterations", result.iterations)
         metrics.inc(f"solver/{self.name}/nn_steps", nn_steps)
         metrics.inc(f"solver/{self.name}/safeguard_steps", safeguard_steps)
+        metrics.families.histogram(
+            "solver_iterations",
+            help="Iterations per pressure solve by solver.",
+            labels=("solver",),
+        ).observe(
+            result.iterations,
+            exemplar=sp.span_id if sp is not None else None,
+            solver=self.name,
+        )
         return result
 
     def _solve(

@@ -261,6 +261,15 @@ class PCGSolver(PressureSolver):
                 sp.attrs["converged"] = result.converged
         metrics.inc(f"solver/{self.name}/solves")
         metrics.inc(f"solver/{self.name}/iterations", result.iterations)
+        metrics.families.histogram(
+            "solver_iterations",
+            help="Iterations per pressure solve by solver.",
+            labels=("solver",),
+        ).observe(
+            result.iterations,
+            exemplar=sp.span_id if sp is not None else None,
+            solver=self.name,
+        )
         return result
 
     # kept under its historical name for callers that dispatched on it
@@ -453,6 +462,11 @@ class JacobiSolver(PressureSolver):
             p = kern.scatter(pf)
         metrics.inc(f"solver/{self.name}/solves")
         metrics.inc(f"solver/{self.name}/iterations", it)
+        metrics.families.histogram(
+            "solver_iterations",
+            help="Iterations per pressure solve by solver.",
+            labels=("solver",),
+        ).observe(it, solver=self.name)
         return SolveResult(
             p, it, bool(self.tol and rnorm <= self.tol), rnorm, 12.0 * it * float(nf)
         )

@@ -224,6 +224,15 @@ class FluidSimulator:
             m.inc("steps")
             m.inc("solver_iterations", info.iterations)
             m.observe("step", rec.step_seconds)
+        if m.enabled:
+            # labeled step-latency distribution: the per-solver tail (p99)
+            # that flat timers average away
+            m.families.histogram(
+                "sim_step_seconds",
+                help="Wall-clock per simulation step by pressure solver.",
+                labels=("solver",),
+                unit="seconds",
+            ).observe(rec.step_seconds, solver=info.solver_name)
         # the typed step-event stream: always recorded (it is the source of
         # truth for divnorm trajectories), mirrored into the tracer when on
         now = time.time()

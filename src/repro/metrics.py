@@ -137,10 +137,32 @@ class MetricsRegistry:
         self.enabled = enabled
         self.counters: dict[str, float] = {}
         self.timers: dict[str, TimerStat] = {}
+        # labeled metric families (repro.obs); created lazily so flat-only
+        # users pay nothing and snapshots without labels stay byte-stable
+        self._families = None
         # scope prefixes are *thread-local*: concurrent threads (e.g. the
         # batched farm backend, BatchedInferenceService leaders) each keep
         # their own stack, so scopes never interleave across threads
         self._scope_tls = threading.local()
+
+    @property
+    def families(self):
+        """Labeled metric families riding on this registry (lazy).
+
+        Returns a :class:`repro.obs.families.MetricFamilies` that shares
+        this registry's lifecycle: it serialises inside :meth:`to_dict`,
+        folds commutatively in :meth:`merge`, and clears on :meth:`reset`
+        — so worker processes ship labeled series home over the exact
+        fork/snapshot/merge path the flat counters already use.  On a
+        disabled registry this is the shared no-op ``NULL_FAMILIES``.
+        """
+        from repro.obs.families import NULL_FAMILIES, MetricFamilies
+
+        if not self.enabled:
+            return NULL_FAMILIES
+        if self._families is None:
+            self._families = MetricFamilies()
+        return self._families
 
     # ------------------------------------------------------------------
     @property
@@ -221,19 +243,31 @@ class MetricsRegistry:
             if mine is None:
                 mine = self.timers[name] = TimerStat()
             mine.merge(stat)
+        if other._families is not None and len(other._families):
+            self.families.merge(other._families)
         return self
 
     def reset(self) -> None:
-        """Drop all recorded counters and timers (keeps enabled state)."""
+        """Drop all recorded counters, timers and families (keeps enabled)."""
         self.counters.clear()
         self.timers.clear()
+        if self._families is not None:
+            self._families.reset()
 
     def to_dict(self) -> dict:
-        """Snapshot as a plain-JSON-serialisable dict."""
-        return {
+        """Snapshot as a plain-JSON-serialisable dict.
+
+        The ``families`` key appears only when labeled families were
+        recorded, keeping label-free snapshots byte-identical to the
+        historical format.
+        """
+        snapshot = {
             "counters": dict(sorted(self.counters.items())),
             "timers": {k: v.to_dict() for k, v in sorted(self.timers.items())},
         }
+        if self._families is not None and len(self._families):
+            snapshot["families"] = self._families.to_dict()["families"]
+        return snapshot
 
     def to_json(self, indent: int | None = 2) -> str:
         """JSON text of :meth:`to_dict`."""
@@ -245,6 +279,8 @@ class MetricsRegistry:
         reg = cls()
         reg.counters.update({k: float(v) for k, v in d.get("counters", {}).items()})
         reg.timers.update({k: TimerStat.from_dict(v) for k, v in d.get("timers", {}).items()})
+        if d.get("families"):
+            reg.families.merge({"families": d["families"]})
         return reg
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -49,9 +49,12 @@ fall back to the legacy forward.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.metrics import get_metrics
 from repro.trace import get_tracer
 
 from .activations import LeakyReLU, ReLU, Sigmoid, Tanh
@@ -373,6 +376,7 @@ class InferencePlan:
         self.runs = 0
         self.workspace_reuses = 0
 
+        compile_started = time.perf_counter()
         with get_tracer().span(
             "nn/plan_compile",
             capacity=self.capacity,
@@ -399,6 +403,16 @@ class InferencePlan:
                 offset += s.size
             if sp is not None:
                 sp.attrs["arena_bytes"] = int(self._arena.nbytes)
+        get_metrics().families.histogram(
+            "nn_plan_compile_seconds",
+            help="InferencePlan compile (lower + arena allocation) time.",
+            labels=("dtype",),
+            unit="seconds",
+        ).observe(
+            time.perf_counter() - compile_started,
+            exemplar=sp.span_id if sp is not None else None,
+            dtype=self.dtype.name,
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -505,8 +519,17 @@ class InferencePlan:
             np.copyto(self._in_slot.array[:n], x)  # casts at the boundary
         else:
             np.copyto(self._in_slot.array[:n], x.transpose(0, 2, 3, 1))
+        gemm_started = time.perf_counter()
         for step in self._steps:
             step.run(n)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.families.histogram(
+                "nn_gemm_seconds",
+                help="Fused-GEMM step-list execution time per plan forward.",
+                labels=("dtype",),
+                unit="seconds",
+            ).observe(time.perf_counter() - gemm_started, dtype=self.dtype.name)
         self.runs += 1
         self.workspace_reuses += 1  # every pass runs entirely in the arena
         out = self._out_slot.array[:n]

@@ -1,0 +1,532 @@
+"""Labeled metric families: Counter, Gauge and Histogram with frozen labels.
+
+A *family* is one named metric plus a frozen tuple of label names declared
+at creation time (``serve_submit_total`` with labels ``(tenant, outcome)``).
+Each distinct combination of label *values* is a **series** inside the
+family; reading a family enumerates its series.  This is the Prometheus
+data model, kept deliberately small:
+
+* **frozen label sets** — every observation must supply exactly the label
+  names the family was declared with; a typo'd or missing label raises
+  :class:`LabelMismatchError` instead of silently forking a new schema.
+* **bounded cardinality** — each family caps its distinct series count
+  (``max_series``).  Feeding unbounded values (job ids, file paths) into a
+  label raises :class:`LabelCardinalityError` instead of growing without
+  bound; labels are for *dimensions*, not identifiers.
+* **mergeable** — counters add, histograms fold bucket-wise (reusing
+  :class:`repro.trace.HistogramStat`), gauges take the incoming value.
+  ``to_dict``/``from_dict`` round-trip losslessly, so worker processes ship
+  their families home inside the existing
+  :meth:`repro.metrics.MetricsRegistry.to_dict` snapshot and the parent
+  folds them with the same ``merge`` call it already uses for flat
+  counters — the fork/merge contract of :mod:`repro.metrics` carries over
+  unchanged.
+
+Histogram series optionally carry one **exemplar** — the trace span id of
+the slowest observation seen — so a scrape that shows a fat tail bucket
+links straight back to the PR 5 span that produced it.
+
+Hot paths bind a series once (``family.labels(...)``) and then ``inc`` /
+``observe`` through the bound handle, skipping per-call label validation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.trace import HistogramStat
+
+__all__ = [
+    "DEFAULT_MAX_SERIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "LabelMismatchError",
+    "MetricFamilies",
+    "NULL_FAMILIES",
+    "get_families",
+]
+
+#: Default cap on distinct series per family.  Generous for real label
+#: dimensions (tenants × outcomes), far below anything that could OOM.
+DEFAULT_MAX_SERIES = 256
+
+
+class LabelMismatchError(ValueError):
+    """The supplied label names differ from the family's frozen set."""
+
+
+class LabelCardinalityError(ValueError):
+    """A new label-value combination would exceed the family's series cap."""
+
+
+class _Bound:
+    """One series of a family, pre-resolved: the hot-path handle."""
+
+    __slots__ = ("_family", "_key")
+
+    def __init__(self, family: "MetricFamily", key: tuple[str, ...]):
+        self._family = family
+        self._key = key
+
+    @property
+    def labels(self) -> dict[str, str]:
+        return dict(zip(self._family.label_names, self._key))
+
+
+class BoundCounter(_Bound):
+    def inc(self, value: float = 1.0) -> None:
+        self._family._add(self._key, value)
+
+    @property
+    def value(self) -> float:
+        return self._family._series.get(self._key, 0.0)
+
+
+class BoundGauge(_Bound):
+    def set(self, value: float) -> None:
+        self._family._set(self._key, value)
+
+    def inc(self, value: float = 1.0) -> None:
+        self._family._add(self._key, value)
+
+    @property
+    def value(self) -> float:
+        return self._family._series.get(self._key, 0.0)
+
+
+class BoundHistogram(_Bound):
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self._family._observe(self._key, value, exemplar)
+
+    @property
+    def stat(self) -> HistogramStat | None:
+        cell = self._family._series.get(self._key)
+        return cell[0] if cell is not None else None
+
+
+class MetricFamily:
+    """Shared machinery of one named family; see the concrete subclasses."""
+
+    kind = "untyped"
+    _bound_cls = _Bound
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Iterable[str] = (),
+        unit: str = "",
+        max_series: int = DEFAULT_MAX_SERIES,
+        enabled: bool = True,
+        lock: threading.RLock | None = None,
+    ):
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.label_names = tuple(label_names)
+        if len(set(self.label_names)) != len(self.label_names):
+            raise LabelMismatchError(f"{name}: duplicate label names {self.label_names}")
+        self.max_series = int(max_series)
+        self.enabled = enabled
+        self._series: dict[tuple[str, ...], object] = {}
+        self._lock = lock if lock is not None else threading.RLock()
+        self._null_bound = self._bound_cls(_NULL_FAMILY_SINK, ())
+
+    # ------------------------------------------------------------------
+    def labels(self, **labels: object) -> _Bound:
+        """Resolve one series, validating the label set; returns a handle."""
+        if not self.enabled:
+            return self._null_bound
+        return self._bound_cls(self, self._key(labels))
+
+    def labels_or_overflow(self, overflow_label: str, **labels: object) -> _Bound:
+        """Like :meth:`labels`, folding one client-supplied label at the cap.
+
+        When the series would exceed ``max_series``, the value of
+        ``overflow_label`` is replaced with ``"_overflow"`` and that series
+        is exempt from the cardinality guard — a capped family always has
+        somewhere to count, so hostile label values (a client inventing a
+        tenant per request) degrade to an aggregate instead of dropping
+        observations or failing the caller.  Label-name mismatches still
+        raise: the fold forgives cardinality, not schema abuse.
+        """
+        if not self.enabled:
+            return self._null_bound
+        try:
+            return self._bound_cls(self, self._key(labels))
+        except LabelCardinalityError:
+            folded = dict(labels)
+            if overflow_label not in folded:
+                raise
+            folded[overflow_label] = "_overflow"
+            names = self.label_names
+            if len(folded) != len(names) or any(n not in folded for n in names):
+                raise
+            # bypass _key: the overflow series may be the cap+1'th
+            return self._bound_cls(self, tuple(str(folded[n]) for n in names))
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        names = self.label_names
+        if len(labels) != len(names) or any(n not in labels for n in names):
+            raise LabelMismatchError(
+                f"{self.name}: got labels {sorted(labels)}, declared {sorted(names)}"
+            )
+        key = tuple(str(labels[n]) for n in names)
+        if key not in self._series and len(self._series) >= self.max_series:
+            raise LabelCardinalityError(
+                f"{self.name}: new series {dict(zip(names, key))} would exceed "
+                f"the cardinality cap ({self.max_series} series); a label is "
+                f"being fed unbounded values (ids, paths, timestamps)"
+            )
+        return key
+
+    # value-cell primitives, overridden where the cell is not a float ------
+    def _add(self, key: tuple[str, ...], value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
+
+    def _set(self, key: tuple[str, ...], value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._series[key] = float(value)
+
+    # ------------------------------------------------------------------
+    def samples(self) -> list[tuple[dict[str, str], object]]:
+        """``(labels, value)`` per series, sorted by label values."""
+        with self._lock:
+            items = sorted(self._series.items())
+        return [(dict(zip(self.label_names, key)), value) for key, value in items]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # ------------------------------------------------------------------
+    def _merge_cell(self, key: tuple[str, ...], payload: object) -> None:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": list(key), "value": self._cell_to_dict(value)}
+                for key, value in sorted(self._series.items())
+            ]
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "unit": self.unit,
+            "labels": list(self.label_names),
+            "max_series": self.max_series,
+            "series": series,
+        }
+
+    def _cell_to_dict(self, value: object) -> object:
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"{type(self).__name__}({self.name!r}, labels={self.label_names}, "
+            f"{len(self._series)} series)"
+        )
+
+
+class Counter(MetricFamily):
+    """Monotonically increasing labeled count; merges by addition."""
+
+    kind = "counter"
+    _bound_cls = BoundCounter
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        if not self.enabled:
+            return
+        self._add(self._key(labels), value)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one series (0 if never incremented)."""
+        return self._series.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every series."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def _merge_cell(self, key: tuple[str, ...], payload: object) -> None:
+        self._add(key, float(payload))
+
+
+class Gauge(MetricFamily):
+    """A labeled instantaneous value; merge takes the incoming value."""
+
+    kind = "gauge"
+    _bound_cls = BoundGauge
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        self._set(self._key(labels), value)
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        if not self.enabled:
+            return
+        self._add(self._key(labels), value)
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0.0)
+
+    def _merge_cell(self, key: tuple[str, ...], payload: object) -> None:
+        self._set(key, float(payload))
+
+
+class Histogram(MetricFamily):
+    """Labeled duration/size distribution on :class:`HistogramStat` buckets.
+
+    Each series is ``(HistogramStat, exemplar | None)``; the exemplar — a
+    trace span id plus the value it was observed with — tracks the slowest
+    observation so far, linking the tail bucket back to its span.
+    """
+
+    kind = "histogram"
+    _bound_cls = BoundHistogram
+
+    def observe(self, value: float, exemplar: str | None = None, **labels: object) -> None:
+        if not self.enabled:
+            return
+        self._observe(self._key(labels), value, exemplar)
+
+    def _observe(self, key: tuple[str, ...], value: float, exemplar: str | None) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                cell = self._series[key] = [HistogramStat(), None]
+            cell[0].add(value)
+            if exemplar is not None and (cell[1] is None or value >= cell[1]["value"]):
+                cell[1] = {"span_id": exemplar, "value": float(value)}
+
+    def stat(self, **labels: object) -> HistogramStat | None:
+        """The :class:`HistogramStat` of one series (None if unobserved)."""
+        cell = self._series.get(self._key(labels))
+        return cell[0] if cell is not None else None
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Quantile of one series (0.0 when the series is empty/missing)."""
+        stat = self.stat(**labels)
+        return stat.quantile(q) if stat is not None and stat.count else 0.0
+
+    def _cell_to_dict(self, value: object) -> object:
+        stat, exemplar = value
+        return {"hist": stat.to_dict(), "exemplar": exemplar}
+
+    def _merge_cell(self, key: tuple[str, ...], payload: object) -> None:
+        if not self.enabled:
+            return
+        incoming = HistogramStat.from_dict(payload["hist"])
+        exemplar = payload.get("exemplar")
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                if key not in self._series and len(self._series) >= self.max_series:
+                    raise LabelCardinalityError(
+                        f"{self.name}: merge would exceed the cardinality cap"
+                    )
+                cell = self._series[key] = [HistogramStat(), None]
+            cell[0].merge(incoming)
+            if exemplar is not None and (
+                cell[1] is None or exemplar["value"] >= cell[1]["value"]
+            ):
+                cell[1] = dict(exemplar)
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricFamilies:
+    """A registry of labeled metric families.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name; re-declaring
+    an existing family validates that its kind and label set are unchanged.
+    A disabled registry (``enabled=False``) hands out no-op families so
+    instrumentation stays unconditional in hot paths, mirroring
+    :class:`repro.metrics.MetricsRegistry`.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _declare(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Iterable[str],
+        unit: str,
+        max_series: int | None,
+    ) -> MetricFamily:
+        label_names = tuple(labels)
+        if not self.enabled:
+            # hand out a detached no-op family: a disabled registry stays
+            # empty forever, no matter how many call sites declare through it
+            return cls(
+                name,
+                help=help,
+                label_names=label_names,
+                unit=unit,
+                max_series=max_series if max_series is not None else DEFAULT_MAX_SERIES,
+                enabled=False,
+            )
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls):
+                    raise LabelMismatchError(
+                        f"{name}: already declared as {family.kind}, not {cls.kind}"
+                    )
+                if family.label_names != label_names:
+                    raise LabelMismatchError(
+                        f"{name}: label set is frozen at {family.label_names}, "
+                        f"got {label_names}"
+                    )
+                return family
+            family = cls(
+                name,
+                help=help,
+                label_names=label_names,
+                unit=unit,
+                max_series=max_series if max_series is not None else DEFAULT_MAX_SERIES,
+                enabled=self.enabled,
+                lock=self._lock,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        unit: str = "",
+        max_series: int | None = None,
+    ) -> Counter:
+        """Get or declare a :class:`Counter` family."""
+        return self._declare(Counter, name, help, labels, unit, max_series)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        unit: str = "",
+        max_series: int | None = None,
+    ) -> Gauge:
+        """Get or declare a :class:`Gauge` family."""
+        return self._declare(Gauge, name, help, labels, unit, max_series)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        unit: str = "",
+        max_series: int | None = None,
+    ) -> Histogram:
+        """Get or declare a :class:`Histogram` family."""
+        return self._declare(Histogram, name, help, labels, unit, max_series)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> MetricFamily | None:
+        """The named family, or ``None`` if never declared."""
+        return self._families.get(name)
+
+    def families(self) -> list[MetricFamily]:
+        """Every declared family, sorted by name."""
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __bool__(self) -> bool:
+        # truthiness == "has anything to export"; an empty registry merges
+        # and renders as the identity
+        return bool(self._families)
+
+    def reset(self) -> None:
+        """Drop every family (keeps the enabled state)."""
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricFamilies | dict") -> "MetricFamilies":
+        """Fold another registry (or a ``to_dict`` snapshot) into this one.
+
+        Counter and histogram series combine commutatively; gauge series
+        take the incoming value.  Families unknown here are declared from
+        the snapshot's own schema.  Returns ``self``.
+        """
+        if not self.enabled:
+            return self
+        snapshot = other.to_dict() if isinstance(other, MetricFamilies) else other
+        for name, fam_dict in snapshot.get("families", {}).items():
+            cls = _KINDS.get(fam_dict.get("kind"))
+            if cls is None:
+                continue
+            family = self._declare(
+                cls,
+                name,
+                fam_dict.get("help", ""),
+                fam_dict.get("labels", ()),
+                fam_dict.get("unit", ""),
+                fam_dict.get("max_series"),
+            )
+            for entry in fam_dict.get("series", ()):
+                family._merge_cell(tuple(entry["labels"]), entry["value"])
+        return self
+
+    def to_dict(self) -> dict:
+        """Snapshot as a plain-JSON-serialisable dict."""
+        with self._lock:
+            return {
+                "families": {
+                    name: self._families[name].to_dict()
+                    for name in sorted(self._families)
+                }
+            }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetricFamilies":
+        """Rebuild a registry from a :meth:`to_dict` snapshot."""
+        return cls().merge(d)
+
+
+#: A permanently-disabled family used as the sink behind bound handles of
+#: disabled families, so a cached handle stays a no-op forever.
+_NULL_FAMILY_SINK = MetricFamily.__new__(MetricFamily)
+_NULL_FAMILY_SINK.name = "null"
+_NULL_FAMILY_SINK.label_names = ()
+_NULL_FAMILY_SINK.enabled = False
+_NULL_FAMILY_SINK._series = {}
+_NULL_FAMILY_SINK._lock = threading.RLock()
+
+#: Shared disabled registry: zero-overhead default, like ``NULL_METRICS``.
+NULL_FAMILIES = MetricFamilies(enabled=False)
+
+
+def get_families() -> MetricFamilies:
+    """The labeled families attached to the process-default registry.
+
+    Fork-aware by construction: :func:`repro.metrics.get_metrics` installs
+    a fresh registry (and therefore fresh families) after a PID change, and
+    workers ship both home in one ``to_dict`` snapshot.
+    """
+    from repro.metrics import get_metrics
+
+    return get_metrics().families

@@ -1,0 +1,306 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An SLO declares an *objective* over recorded series — "p99 submit-to-result
+latency stays under 2 s", "at least half of cache lookups hit", "fewer than
+5% of jobs fall back to exact PCG" — plus an **error budget**: the fraction
+of bad outcomes the objective tolerates.  The **burn rate** over a window
+is how fast that budget is being consumed relative to the sustainable pace::
+
+    burn = bad_fraction(window) / budget
+
+``burn == 1`` spends exactly the budget; ``burn == 10`` exhausts it ten
+times too fast.  Alerting on a single window is either twitchy (short) or
+numb (long), so each severity tier requires **two** windows to burn at once
+— the long window proves the problem is real, the short window proves it is
+*still happening* (the standard multi-window, multi-burn-rate pattern).
+Window defaults here are scaled to this repo's seconds-to-minutes service
+runs rather than a month-long production budget; both are configurable per
+:class:`SLO`.
+
+Two objective kinds cover everything the stack needs:
+
+* ``ratio`` — ``bad_series`` / ``total_series`` counter deltas per window
+  (cache misses over lookups, fallbacks over jobs, failures over finishes);
+* ``threshold`` — the fraction of sampled values of ``value_series``
+  violating ``value {op} threshold`` (sampled p99 latency vs its bound).
+
+A window with no recorded traffic yields no verdict (``no_data``) rather
+than a false "ok": silence is not health.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timeseries import SeriesRecorder
+
+__all__ = [
+    "SLO",
+    "SLOEngine",
+    "SLOStatus",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "default_farm_slos",
+    "default_serve_slos",
+]
+
+#: Severity ranking for folding per-SLO states into one overall state.
+_SEVERITY = {"critical": 3, "warning": 2, "ok": 1, "no_data": 0}
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One alerting tier: fire when both windows burn faster than ``factor``."""
+
+    severity: str  # "critical" or "warning"
+    short_seconds: float
+    long_seconds: float
+    factor: float  # minimum burn rate (budget multiples per sustainable pace)
+
+
+#: Default tiers, scaled for interactive service runs: a critical page needs
+#: a sustained 10x burn over the last minute, a warning a 2x burn over five.
+DEFAULT_WINDOWS = (
+    BurnWindow("critical", short_seconds=15.0, long_seconds=60.0, factor=10.0),
+    BurnWindow("warning", short_seconds=60.0, long_seconds=300.0, factor=2.0),
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over recorded series.
+
+    ``kind="ratio"`` uses ``bad_series``/``total_series`` counter deltas;
+    ``kind="threshold"`` uses sampled ``value_series`` values against
+    ``value {op} threshold``.  ``budget`` is the tolerated bad fraction.
+    """
+
+    name: str
+    objective: str
+    kind: str  # "ratio" | "threshold"
+    budget: float
+    bad_series: str | None = None
+    total_series: str | None = None
+    value_series: str | None = None
+    threshold: float = 0.0
+    op: str = "<"
+    windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS
+
+    def __post_init__(self):
+        if self.kind not in ("ratio", "threshold"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "ratio" and not (self.bad_series and self.total_series):
+            raise ValueError(f"{self.name}: ratio SLOs need bad_series and total_series")
+        if self.kind == "threshold" and not self.value_series:
+            raise ValueError(f"{self.name}: threshold SLOs need value_series")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(f"{self.name}: budget must be in (0, 1], got {self.budget}")
+        if self.op not in ("<", "<=", ">", ">="):
+            raise ValueError(f"{self.name}: unsupported op {self.op!r}")
+
+    # ------------------------------------------------------------------
+    def _violates(self, value: float) -> bool:
+        if self.op == "<":
+            return not value < self.threshold
+        if self.op == "<=":
+            return not value <= self.threshold
+        if self.op == ">":
+            return not value > self.threshold
+        return not value >= self.threshold
+
+    def bad_fraction(
+        self, recorder: SeriesRecorder, seconds: float, now: float | None = None
+    ) -> float | None:
+        """Bad fraction over the window, or ``None`` with no data."""
+        if self.kind == "ratio":
+            total = recorder.delta(self.total_series, seconds, now=now)
+            if total <= 0:
+                return None
+            bad = recorder.delta(self.bad_series, seconds, now=now)
+            return min(1.0, max(0.0, bad / total))
+        samples = recorder.window(self.value_series, seconds, now=now)
+        if not samples:
+            return None
+        violating = sum(1 for _, v in samples if self._violates(v))
+        return violating / len(samples)
+
+
+@dataclass
+class SLOStatus:
+    """Evaluation result of one SLO at one instant."""
+
+    name: str
+    objective: str
+    state: str  # "ok" | "warning" | "critical" | "no_data"
+    value: float | None  # most recent observed quantity (ratio or sample)
+    budget: float
+    tiers: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "state": self.state,
+            "value": self.value,
+            "budget": self.budget,
+            "tiers": self.tiers,
+        }
+
+
+class SLOEngine:
+    """Evaluate a set of SLOs against one :class:`SeriesRecorder`."""
+
+    def __init__(self, recorder: SeriesRecorder, slos: tuple[SLO, ...] | list[SLO] = ()):
+        self.recorder = recorder
+        self.slos: list[SLO] = list(slos)
+
+    def add(self, slo: SLO) -> None:
+        self.slos.append(slo)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float | None = None) -> list[SLOStatus]:
+        """Current status of every SLO (stable order: as declared)."""
+        return [self._evaluate_one(slo, now) for slo in self.slos]
+
+    def state(self, now: float | None = None) -> str:
+        """Worst state across all SLOs (``ok`` when none are declared)."""
+        worst = "ok" if not self.slos else "no_data"
+        for status in self.evaluate(now):
+            if _SEVERITY[status.state] > _SEVERITY[worst]:
+                worst = status.state
+        return worst
+
+    def to_dict(self, now: float | None = None) -> dict:
+        statuses = self.evaluate(now)
+        worst = "ok" if not statuses else "no_data"
+        for status in statuses:
+            if _SEVERITY[status.state] > _SEVERITY[worst]:
+                worst = status.state
+        return {"state": worst, "slos": [s.to_dict() for s in statuses]}
+
+    # ------------------------------------------------------------------
+    def _evaluate_one(self, slo: SLO, now: float | None) -> SLOStatus:
+        tiers: list[dict] = []
+        state = "no_data"
+        for window in slo.windows:
+            short_bad = slo.bad_fraction(self.recorder, window.short_seconds, now=now)
+            long_bad = slo.bad_fraction(self.recorder, window.long_seconds, now=now)
+            short_burn = None if short_bad is None else short_bad / slo.budget
+            long_burn = None if long_bad is None else long_bad / slo.budget
+            firing = (
+                short_burn is not None
+                and long_burn is not None
+                and short_burn >= window.factor
+                and long_burn >= window.factor
+            )
+            tiers.append(
+                {
+                    "severity": window.severity,
+                    "short_seconds": window.short_seconds,
+                    "long_seconds": window.long_seconds,
+                    "factor": window.factor,
+                    "short_burn": short_burn,
+                    "long_burn": long_burn,
+                    "firing": firing,
+                }
+            )
+            if long_burn is not None and state == "no_data":
+                state = "ok"
+            if firing and _SEVERITY[window.severity] > _SEVERITY[state]:
+                state = window.severity
+        value = self._current_value(slo, now)
+        return SLOStatus(
+            name=slo.name,
+            objective=slo.objective,
+            state=state,
+            value=value,
+            budget=slo.budget,
+            tiers=tiers,
+        )
+
+    def _current_value(self, slo: SLO, now: float | None) -> float | None:
+        if slo.kind == "threshold":
+            return self.recorder.latest(slo.value_series)
+        # ratio: good fraction over the longest declared window
+        longest = max((w.long_seconds for w in slo.windows), default=300.0)
+        bad = slo.bad_fraction(self.recorder, longest, now=now)
+        return None if bad is None else 1.0 - bad
+
+
+# ----------------------------------------------------------------------
+# stock objectives — series names match the wiring in repro.serve/repro.cli
+# ----------------------------------------------------------------------
+def default_serve_slos(
+    latency_p99_seconds: float = 2.0,
+    cache_hit_target: float = 0.5,
+    fallback_budget: float = 0.05,
+    failure_budget: float = 0.1,
+) -> list[SLO]:
+    """The serve tier's stock SLOs (see DESIGN.md for the rationale)."""
+    return [
+        SLO(
+            name="submit_to_result_p99",
+            objective=f"p99 submit-to-result latency < {latency_p99_seconds:g}s",
+            kind="threshold",
+            value_series="serve_submit_to_result_p99",
+            threshold=latency_p99_seconds,
+            op="<",
+            budget=0.1,
+        ),
+        SLO(
+            name="cache_hit_ratio",
+            objective=f"cache hit ratio > {cache_hit_target:g}",
+            kind="ratio",
+            bad_series="serve_cache_misses",
+            total_series="serve_cache_requests",
+            budget=1.0 - cache_hit_target,
+        ),
+        SLO(
+            name="pcg_fallback_rate",
+            objective=f"pcg_fallback rate < {fallback_budget:g} per job",
+            kind="ratio",
+            bad_series="farm_degradations",
+            total_series="serve_jobs_finished",
+            budget=fallback_budget,
+        ),
+        SLO(
+            name="job_failure_ratio",
+            objective=f"job failure ratio < {failure_budget:g}",
+            kind="ratio",
+            bad_series="serve_jobs_failed",
+            total_series="serve_jobs_finished",
+            budget=failure_budget,
+        ),
+    ]
+
+
+def default_farm_slos(
+    fallback_budget: float = 0.05, failure_budget: float = 0.1
+) -> list[SLO]:
+    """Stock SLOs for a local farm run (the ``repro top`` alerts panel)."""
+    return [
+        SLO(
+            name="pcg_fallback_rate",
+            objective=f"pcg_fallback rate < {fallback_budget:g} per job",
+            kind="ratio",
+            bad_series="farm_degradations",
+            total_series="farm_jobs",
+            budget=fallback_budget,
+        ),
+        SLO(
+            name="job_failure_ratio",
+            objective=f"job failure ratio < {failure_budget:g}",
+            kind="ratio",
+            bad_series="farm_jobs_failed",
+            total_series="farm_jobs",
+            budget=failure_budget,
+        ),
+        SLO(
+            name="job_retry_rate",
+            objective="job retry/resume rate < 0.25 per job",
+            kind="ratio",
+            bad_series="farm_resumes",
+            total_series="farm_jobs",
+            budget=0.25,
+        ),
+    ]

@@ -1,0 +1,166 @@
+"""Fixed-interval ring-buffer time series: the memory behind burn rates.
+
+Counters and histograms answer "how much, ever"; rates and burn-rate SLOs
+need "how much, *lately*".  :class:`SeriesRecorder` bridges the two: named
+*sources* (zero-argument callables over the live metric registries) are
+sampled together every ``interval`` seconds into per-series ring buffers of
+``(t, value)`` pairs, bounded by ``capacity`` so a long-lived service holds
+a fixed-size window of history no matter how long it runs.
+
+From those samples the recorder derives the quantities the SLO engine
+consumes:
+
+* :meth:`rate` — per-second increase of a monotonic counter over a window,
+  tolerant of process restarts (a decrease starts a new segment instead of
+  producing a negative rate);
+* :meth:`delta` — absolute increase over a window (for ratio SLOs, where
+  ``good_delta / total_delta`` is the window's success fraction);
+* :meth:`average` / :meth:`latest` — for gauge-like series such as sampled
+  quantiles.
+
+``tick()`` is explicit and clock-injectable: the serve tier drives it from
+a background asyncio task, ``repro top`` from its repaint loop, and tests
+from a fake clock — the recorder itself owns no thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["SeriesRecorder"]
+
+
+class SeriesRecorder:
+    """Sample named sources on a fixed interval into bounded ring buffers.
+
+    Parameters
+    ----------
+    interval:
+        Minimum seconds between samples; ``tick()`` calls arriving early
+        are no-ops, so callers may tick as often as convenient.
+    capacity:
+        Ring-buffer length per series.  ``capacity * interval`` is the
+        longest window any rate/burn computation can look back over.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        interval: float = 1.0,
+        capacity: int = 600,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._sources: dict[str, Callable[[], float]] = {}
+        self._series: dict[str, deque[tuple[float, float]]] = {}
+        self._last_tick: float | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def add_source(self, name: str, fn: Callable[[], float]) -> None:
+        """Register (or replace) a sampled source.
+
+        ``fn`` is called once per tick; a raising or non-finite source
+        contributes no sample for that tick instead of poisoning the rest.
+        """
+        with self._lock:
+            self._sources[name] = fn
+            self._series.setdefault(name, deque(maxlen=self.capacity))
+
+    def names(self) -> list[str]:
+        """Every known series name, sorted."""
+        with self._lock:
+            return sorted(self._series)
+
+    # ------------------------------------------------------------------
+    def tick(self, now: float | None = None) -> bool:
+        """Sample every source if ``interval`` has elapsed; True if sampled."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            if self._last_tick is not None and now - self._last_tick < self.interval:
+                return False
+            self._last_tick = now
+            sources = list(self._sources.items())
+        for name, fn in sources:
+            try:
+                value = float(fn())
+            except Exception:
+                continue
+            if value != value:  # NaN: skip, keep the series clean
+                continue
+            self.record(name, value, now)
+        return True
+
+    def record(self, name: str, value: float, now: float | None = None) -> None:
+        """Append one sample directly (for series without a pull source)."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = deque(maxlen=self.capacity)
+            series.append((now, float(value)))
+
+    # ------------------------------------------------------------------
+    def window(self, name: str, seconds: float, now: float | None = None) -> list[tuple[float, float]]:
+        """Samples of ``name`` no older than ``seconds`` (oldest first)."""
+        now = self._clock() if now is None else now
+        cutoff = now - seconds
+        with self._lock:
+            series = self._series.get(name)
+            if not series:
+                return []
+            return [(t, v) for t, v in series if t >= cutoff]
+
+    def latest(self, name: str) -> float | None:
+        """Most recent sample value, or ``None`` if never sampled."""
+        with self._lock:
+            series = self._series.get(name)
+            return series[-1][1] if series else None
+
+    def delta(self, name: str, seconds: float, now: float | None = None) -> float:
+        """Total increase of a monotonic counter over the window.
+
+        Decreases between consecutive samples (a counter reset after a
+        restart) close the current segment: the post-reset value counts
+        from zero rather than producing a negative delta.
+        """
+        window = self.window(name, seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        total = 0.0
+        prev = window[0][1]
+        for _, value in window[1:]:
+            total += value - prev if value >= prev else value
+            prev = value
+        return total
+
+    def rate(self, name: str, seconds: float, now: float | None = None) -> float:
+        """Per-second increase of a monotonic counter over the window."""
+        window = self.window(name, seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        elapsed = window[-1][0] - window[0][0]
+        if elapsed <= 0:
+            return 0.0
+        return self.delta(name, seconds, now=now) / elapsed
+
+    def average(self, name: str, seconds: float, now: float | None = None) -> float | None:
+        """Mean sample value over the window (``None`` with no samples)."""
+        window = self.window(name, seconds, now=now)
+        if not window:
+            return None
+        return sum(v for _, v in window) / len(window)
+
+    def span(self, name: str) -> float:
+        """Seconds covered by the recorded samples of ``name`` (0 if <2)."""
+        with self._lock:
+            series = self._series.get(name)
+            if not series or len(series) < 2:
+                return 0.0
+            return series[-1][0] - series[0][0]

@@ -61,13 +61,38 @@ class Autoscaler:
         self.interval_seconds = interval_seconds
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._stop = asyncio.Event()
+        families = self.metrics.families
+        self._gauge_workers = families.gauge(
+            "serve_workers", help="Worker threads currently in the pool."
+        )
+        self._gauge_busy = families.gauge(
+            "serve_workers_busy", help="Workers currently executing a job."
+        )
+        self._gauge_queue = families.gauge(
+            "serve_queue_depth", help="Jobs admitted but not yet picked up."
+        )
+        self._scale_events = families.counter(
+            "serve_autoscale_events_total",
+            help="Autoscaler resize decisions by direction.",
+            labels=("direction",),
+        )
 
     def tick(self) -> int:
-        """Make one scaling decision; returns the (possibly new) target."""
+        """Make one scaling decision; returns the (possibly new) target.
+
+        Every tick also refreshes the fleet gauges (queue depth, worker
+        and busy counts), so the scrape surface tracks load at autoscaler
+        cadence even when no resize happens.
+        """
         current = self.pool.workers
+        queue_depth = self.pool.queue_depth
+        busy = self.pool.busy
+        self._gauge_workers.set(current)
+        self._gauge_busy.set(busy)
+        self._gauge_queue.set(queue_depth)
         target = plan_workers(
-            queue_depth=self.pool.queue_depth,
-            busy=self.pool.busy,
+            queue_depth=queue_depth,
+            busy=busy,
             current=current,
             min_workers=self.min_workers,
             max_workers=self.max_workers,
@@ -75,8 +100,10 @@ class Autoscaler:
         if target != current:
             if target > current:
                 self.metrics.inc("serve/autoscaler/grow_events")
+                self._scale_events.inc(direction="grow")
             else:
                 self.metrics.inc("serve/autoscaler/shrink_events")
+                self._scale_events.inc(direction="shrink")
             self.pool.resize(target)
         return target
 

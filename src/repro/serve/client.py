@@ -121,6 +121,14 @@ class ServiceClient:
         """The service's stats snapshot."""
         return (await self._request({"op": "stats"}))["stats"]
 
+    async def metrics(self) -> str:
+        """The service's metrics in Prometheus text exposition format."""
+        return (await self._request({"op": "metrics"}))["text"]
+
+    async def health(self) -> dict:
+        """The service's SLO health report (state + per-objective burn rates)."""
+        return (await self._request({"op": "health"}))["health"]
+
     async def watch(self, job_id: str):
         """Async-iterate the job's live telemetry events until terminal.
 

@@ -36,6 +36,11 @@ from repro.farm.jobs import JobResult, JobSpec
 from repro.farm.pool import Pool
 from repro.farm.telemetry import FleetView
 from repro.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.slo import SLO, SLOEngine, default_serve_slos
+from repro.obs.timeseries import SeriesRecorder
+from repro.trace import HistogramStat
 
 from .admission import AdmissionController, TenantQuota
 from .autoscaler import Autoscaler
@@ -138,6 +143,8 @@ class SimulationService:
         heartbeat_seconds: float = 0.5,
         metrics: MetricsRegistry | None = None,
         clock=time.monotonic,
+        obs_interval: float = 1.0,
+        slos: list[SLO] | None = None,
     ):
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = (
@@ -162,7 +169,95 @@ class SimulationService:
         self._jobs: dict[str, _Job] = {}
         self._loop: asyncio.AbstractEventLoop | None = None
         self._scaler_task: asyncio.Task | None = None
+        self._obs_task: asyncio.Task | None = None
         self._stopping = False
+
+        # --- labeled metric families (scraped via the metrics op) --------
+        families = self.metrics.families
+        self._submit_total = families.counter(
+            "serve_submit_total",
+            help="Submissions by tenant and outcome (accepted/cached/rejection code).",
+            labels=("tenant", "outcome"),
+        )
+        self._submit_latency = families.histogram(
+            "serve_submit_to_result_seconds",
+            help="Submit-to-terminal-result latency by tenant.",
+            labels=("tenant",),
+            unit="seconds",
+        )
+        self._cache_by_scenario = families.counter(
+            "serve_cache_requests_total",
+            help="Result-cache lookups by scenario and outcome.",
+            labels=("scenario", "outcome"),
+        )
+        self._jobs_by_status = families.counter(
+            "serve_jobs_total",
+            help="Terminal jobs by status (completed/failed/cancelled).",
+            labels=("status",),
+        )
+
+        # --- time series + SLO engine (the repro health surface) ---------
+        self.obs_interval = obs_interval
+        self.recorder = SeriesRecorder(interval=obs_interval, clock=clock)
+        self._register_series()
+        self.slo_engine = SLOEngine(
+            self.recorder, slos if slos is not None else default_serve_slos()
+        )
+
+    # ------------------------------------------------------------------
+    # observability wiring
+    # ------------------------------------------------------------------
+    def _register_series(self) -> None:
+        """Declare the recorded series the stock SLOs evaluate against."""
+        counters = self.metrics.counters
+        rec = self.recorder
+
+        def flat(*names: str):
+            return lambda: sum(counters.get(n, 0.0) for n in names)
+
+        rec.add_source("serve_submitted", flat("serve/submitted"))
+        rec.add_source("serve_rejected", flat("serve/rejected"))
+        rec.add_source("serve_cache_misses", flat("serve/cache/misses"))
+        rec.add_source(
+            "serve_cache_requests", flat("serve/cache/hits", "serve/cache/misses")
+        )
+        rec.add_source("serve_jobs_failed", flat("serve/jobs_failed"))
+        rec.add_source(
+            "serve_jobs_finished",
+            flat("serve/jobs_completed", "serve/jobs_failed", "serve/jobs_cancelled"),
+        )
+        rec.add_source("farm_degradations", flat("farm/degradations"))
+        rec.add_source("serve_queue_depth", lambda: self.pool.queue_depth)
+        rec.add_source("serve_workers", lambda: self.pool.alive)
+        rec.add_source("serve_workers_busy", lambda: self.pool.busy)
+        rec.add_source("serve_submit_to_result_p99", self._latency_p99)
+
+    def _latency_p99(self) -> float:
+        """p99 submit-to-result latency across all tenants (merged series)."""
+        merged = HistogramStat()
+        for _, (stat, _exemplar) in self._submit_latency.samples():
+            merged.merge(stat)
+        if merged.count == 0:
+            raise ValueError("no latency observations yet")  # recorder skips
+        return merged.quantile(0.99)
+
+    async def _obs_loop(self) -> None:
+        """Background sampling loop feeding the recorder at obs cadence."""
+        while not self._stopping:
+            self.recorder.tick()
+            await asyncio.sleep(self.obs_interval)
+
+    def _tenant_outcome(self, tenant: str, outcome: str) -> None:
+        """Count a submit outcome, folding tenant-cardinality overflow.
+
+        Tenant names arrive from clients, so the label is potentially
+        unbounded; past the family's series cap new tenants aggregate
+        under ``_overflow`` instead of failing the submission (the raise-
+        don't-OOM guard stays for genuinely programmatic label abuse).
+        """
+        self._submit_total.labels_or_overflow(
+            "tenant", tenant=tenant, outcome=outcome
+        ).inc()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -189,6 +284,7 @@ class SimulationService:
             metrics=self.metrics,
         )
         self._scaler_task = asyncio.create_task(self.autoscaler.run())
+        self._obs_task = asyncio.create_task(self._obs_loop())
 
     async def stop(self, drain: bool = True, timeout: float | None = None) -> bool:
         """Stop the service; True when every job reached a terminal state.
@@ -205,6 +301,13 @@ class SimulationService:
         if self._scaler_task is not None:
             await self._scaler_task
             self._scaler_task = None
+        if self._obs_task is not None:
+            self._obs_task.cancel()
+            try:
+                await self._obs_task
+            except asyncio.CancelledError:
+                pass
+            self._obs_task = None
         if self.pool is not None:
             loop = asyncio.get_running_loop()
             if drain:
@@ -281,6 +384,12 @@ class SimulationService:
             q.put_nowait(None)  # sentinel: stream is over
         job.watchers.clear()
         self.metrics.inc(f"serve/jobs_{result.status}")
+        self._jobs_by_status.inc(status=result.status)
+        if job.submitted_at:
+            elapsed = time.time() - job.submitted_at
+            self._submit_latency.labels_or_overflow(
+                "tenant", tenant=job.tenant
+            ).observe(elapsed)
 
     # ------------------------------------------------------------------
     # API
@@ -309,28 +418,39 @@ class SimulationService:
             future=self._loop.create_future(),
         )
         self.metrics.inc("serve/submitted")
+        scenario = spec.scenario.split(":", 1)[0]
         if self.cache is not None:
             hit = self.cache.get(spec.cache_key())
+            self._cache_by_scenario.inc(
+                scenario=scenario, outcome="hit" if hit is not None else "miss"
+            )
             if hit is not None:
+                self.fleet.bump("cache_hits")
                 # a hit costs no worker time (no pending slot) but is still
                 # a submission: bill the tenant's token bucket
                 try:
                     self.admission.charge(tenant)
-                except ServeError:
+                except ServeError as exc:
                     self.metrics.inc("serve/rejected")
+                    self.fleet.bump("admission_rejects")
+                    self._tenant_outcome(tenant, exc.code)
                     raise
                 # re-badge the stored result as *this* job's answer
                 served = JobResult.from_dict({**hit.to_dict(), "job_id": spec.job_id})
                 served.cached = True
                 self._jobs[spec.job_id] = job
+                self._tenant_outcome(tenant, "cached")
                 self._finish(served)
                 return job.summary()
         try:
             self.admission.admit(tenant)
-        except ServeError:
+        except ServeError as exc:
             self.metrics.inc("serve/rejected")
+            self.fleet.bump("admission_rejects")
+            self._tenant_outcome(tenant, exc.code)
             raise
         job.admitted = True
+        self._tenant_outcome(tenant, "accepted")
         self._jobs[spec.job_id] = job
         self.pool.submit(spec, priority=priority)
         self.autoscaler.tick()  # react to the new demand immediately
@@ -415,6 +535,32 @@ class SimulationService:
             "cache": self.cache.stats() if self.cache is not None else None,
             "pool": self.autoscaler.snapshot() if self.autoscaler is not None else None,
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text-format exposition of every metric surface.
+
+        Labeled families (including worker series merged home through the
+        pool) plus the flat counter/timer registry, with exemplars linking
+        slow histogram buckets to their trace spans.
+        """
+        return render_prometheus(self.metrics.families, self.metrics)
+
+    def health(self) -> dict:
+        """SLO burn-rate evaluation over the recorded series.
+
+        Ticks the recorder opportunistically first (so a freshly-started
+        service still reports against current samples), then evaluates
+        every declared SLO.  ``state`` is the worst across SLOs:
+        ``ok`` < ``warning`` < ``critical``; ``no_data`` means a series
+        has no traffic to judge yet.
+        """
+        self.recorder.tick()
+        report = self.slo_engine.to_dict()
+        report["recorder"] = {
+            "interval_seconds": self.recorder.interval,
+            "series": self.recorder.names(),
+        }
+        return report
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +675,17 @@ class ServiceServer:
                 self.service.unsubscribe(job_id, q)
         elif op == "stats":
             await write_frame(writer, {"ok": True, "stats": self.service.stats()})
+        elif op == "metrics":
+            await write_frame(
+                writer,
+                {
+                    "ok": True,
+                    "content_type": PROMETHEUS_CONTENT_TYPE,
+                    "text": self.service.metrics_text(),
+                },
+            )
+        elif op == "health":
+            await write_frame(writer, {"ok": True, "health": self.service.health()})
         else:
             raise ProtocolError(f"unknown op {op!r}")
 

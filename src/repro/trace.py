@@ -63,6 +63,8 @@ __all__ = [
     "set_tracer",
     "read_trace",
     "summarize",
+    "event_type_counts",
+    "slowest_spans",
     "format_summary",
 ]
 
@@ -649,6 +651,28 @@ def summarize(tracer: Tracer) -> dict[str, dict]:
     return out
 
 
+def event_type_counts(tracer: Tracer) -> dict[str, int]:
+    """Events per type, sorted by descending count then name.
+
+    Answers "what happened how often" (checkpoints, fallbacks, model
+    switches, heartbeats) without walking the raw event stream.
+    """
+    counts: dict[str, int] = {}
+    for ev in tracer.events():
+        counts[ev.type] = counts.get(ev.type, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def slowest_spans(tracer: Tracer, n: int = 5) -> list[Span]:
+    """The ``n`` longest individual spans, slowest first.
+
+    The per-name summary shows which *kind* of span dominates; this shows
+    the worst *instances* — with their span ids and attrs, which exemplar-
+    carrying histograms link back to.
+    """
+    return sorted(tracer.spans(), key=lambda sp: sp.dur, reverse=True)[: max(0, n)]
+
+
 def _fmt_seconds(s: float | None) -> str:
     if s is None or (isinstance(s, float) and math.isnan(s)):
         return "-"
@@ -660,23 +684,45 @@ def _fmt_seconds(s: float | None) -> str:
 
 
 def format_summary(tracer: Tracer) -> str:
-    """Human-readable per-span summary table of one trace."""
+    """Human-readable trace summary: per-span table, event counts, slowest.
+
+    Three sections answer "what dominated" without loading Perfetto: the
+    aggregate per-span-name latency table, events-per-type counts, and the
+    top-5 slowest individual spans with their span ids and attrs.
+    """
     rows = summarize(tracer)
     if not rows:
-        return "(no spans recorded)"
-    name_w = max(len("span"), max(len(n) for n in rows))
-    header = (
-        f"{'span':<{name_w}}  {'count':>7}  {'total':>9}  {'mean':>9}  "
-        f"{'p50':>9}  {'p95':>9}  {'p99':>9}  {'max':>9}"
-    )
-    lines = [header, "-" * len(header)]
-    for name, r in rows.items():
-        lines.append(
-            f"{name:<{name_w}}  {r['count']:>7d}  {_fmt_seconds(r['total']):>9}  "
-            f"{_fmt_seconds(r['mean']):>9}  {_fmt_seconds(r['p50']):>9}  "
-            f"{_fmt_seconds(r['p95']):>9}  {_fmt_seconds(r['p99']):>9}  "
-            f"{_fmt_seconds(r['max']):>9}"
+        lines = ["(no spans recorded)"]
+    else:
+        name_w = max(len("span"), max(len(n) for n in rows))
+        header = (
+            f"{'span':<{name_w}}  {'count':>7}  {'total':>9}  {'mean':>9}  "
+            f"{'p50':>9}  {'p95':>9}  {'p99':>9}  {'max':>9}"
         )
+        lines = [header, "-" * len(header)]
+        for name, r in rows.items():
+            lines.append(
+                f"{name:<{name_w}}  {r['count']:>7d}  {_fmt_seconds(r['total']):>9}  "
+                f"{_fmt_seconds(r['mean']):>9}  {_fmt_seconds(r['p50']):>9}  "
+                f"{_fmt_seconds(r['p95']):>9}  {_fmt_seconds(r['p99']):>9}  "
+                f"{_fmt_seconds(r['max']):>9}"
+            )
+    counts = event_type_counts(tracer)
+    if counts:
+        lines.append("")
+        lines.append("events: " + "  ".join(f"{t}={c}" for t, c in counts.items()))
+    slowest = slowest_spans(tracer, 5)
+    if slowest:
+        lines.append("")
+        lines.append("slowest spans:")
+        for sp in slowest:
+            attrs = ""
+            if sp.attrs:
+                inner = ", ".join(f"{k}={v}" for k, v in sorted(sp.attrs.items()))
+                attrs = f"  {{{inner}}}"
+            lines.append(
+                f"  {_fmt_seconds(sp.dur):>9}  {sp.name}  [span {sp.span_id}]{attrs}"
+            )
     return "\n".join(lines)
 
 

@@ -92,6 +92,54 @@ class TestRendering:
         out = stream.getvalue()
         assert "completed:1" in out
 
+    def test_counters_render_in_the_header(self):
+        fleet = FleetView()
+        fleet.bump("admission_rejects")
+        fleet.bump("cache_hits", 3)
+        text = render_fleet(fleet, now=0.0)
+        header = text.splitlines()[0]
+        assert "admission_rejects:1" in header
+        assert "cache_hits:3" in header
+        # no counters -> no separator noise
+        assert "|" not in render_fleet(FleetView(), now=0.0).splitlines()[0]
+
+    def test_pcg_fallback_events_bump_the_fleet_counter(self):
+        fleet = FleetView()
+        fleet.observe({"type": "pcg_fallback", "job_id": "a"})
+        fleet.observe({"type": "pcg_fallback", "job_id": "b"})
+        assert fleet.counters()["pcg_fallbacks"] == 2
+        assert fleet.to_dict()["counters"]["pcg_fallbacks"] == 2
+
+    def test_narrow_terminal_truncates_instead_of_crashing(self):
+        fleet = FleetView()
+        fleet.bump("cache_hits", 99)
+        fleet.observe({"type": "heartbeat", "job_id": "job-with-a-long-name",
+                       "step": 3, "steps_total": 4, "divnorm": 0.5, "solver": "nn"})
+        for width in (8, 20, 40):
+            text = render_fleet(fleet, now=100.0, width=width)
+            assert all(len(line) <= width for line in text.splitlines())
+        # a degenerate width is clamped, not an exception
+        assert render_fleet(fleet, now=100.0, width=0)
+
+    def test_live_renderer_alerts_panel_is_crash_proof(self):
+        fleet = FleetView()
+        fleet.observe({"type": "job_end", "job_id": "a", "status": "completed"})
+        calls = []
+
+        def alerts():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("slo engine hiccup")
+            return ["[critical] job_failure_ratio: burn 12x"]
+
+        stream = io.StringIO()
+        renderer = LiveRenderer(fleet, interval=60.0, stream=stream, alerts_fn=alerts)
+        renderer._paint()  # first call raises inside alerts_fn: swallowed
+        renderer._paint()
+        out = stream.getvalue()
+        assert "alerts:" in out
+        assert "[critical] job_failure_ratio" in out
+
 
 class TestFarmEventFlow:
     def test_serial_farm_streams_events_and_fills_fleet(self):

@@ -1,0 +1,193 @@
+"""Labeled metric families: frozen labels, cardinality guard, merge."""
+
+import pytest
+
+from repro.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs import (
+    LabelCardinalityError,
+    LabelMismatchError,
+    MetricFamilies,
+    NULL_FAMILIES,
+)
+
+
+class TestCounters:
+    def test_inc_and_read_per_series(self):
+        fams = MetricFamilies()
+        c = fams.counter("requests", labels=("tenant", "outcome"))
+        c.inc(tenant="a", outcome="ok")
+        c.inc(2, tenant="a", outcome="ok")
+        c.inc(tenant="b", outcome="err")
+        assert c.value(tenant="a", outcome="ok") == 3
+        assert c.value(tenant="b", outcome="err") == 1
+        assert c.value(tenant="b", outcome="ok") == 0
+        assert c.total() == 4
+
+    def test_bound_handle_skips_validation(self):
+        fams = MetricFamilies()
+        c = fams.counter("hits", labels=("kind",))
+        bound = c.labels(kind="disk")
+        bound.inc()
+        bound.inc(4)
+        assert bound.value == 5
+        assert c.value(kind="disk") == 5
+
+    def test_unlabeled_family_is_one_series(self):
+        fams = MetricFamilies()
+        c = fams.counter("events")
+        c.inc()
+        c.inc()
+        assert c.value() == 2
+
+
+class TestFrozenLabels:
+    def test_wrong_label_names_raise(self):
+        fams = MetricFamilies()
+        c = fams.counter("requests", labels=("tenant",))
+        with pytest.raises(LabelMismatchError):
+            c.inc(tennant="a")  # typo
+        with pytest.raises(LabelMismatchError):
+            c.inc(tenant="a", extra="b")
+        with pytest.raises(LabelMismatchError):
+            c.inc()  # missing
+
+    def test_redeclare_with_different_labels_raises(self):
+        fams = MetricFamilies()
+        fams.counter("requests", labels=("tenant",))
+        with pytest.raises(LabelMismatchError):
+            fams.counter("requests", labels=("tenant", "outcome"))
+        with pytest.raises(LabelMismatchError):
+            fams.gauge("requests", labels=("tenant",))  # kind is frozen too
+
+    def test_redeclare_identical_returns_same_family(self):
+        fams = MetricFamilies()
+        a = fams.counter("requests", labels=("tenant",))
+        b = fams.counter("requests", labels=("tenant",))
+        assert a is b
+
+
+class TestCardinalityGuard:
+    def test_unbounded_label_values_raise_not_oom(self):
+        """Regression: feeding ids into a label must raise at the cap, not
+        grow the series dict without bound."""
+        fams = MetricFamilies()
+        c = fams.counter("per_job", labels=("job_id",), max_series=8)
+        for i in range(8):
+            c.inc(job_id=f"job-{i}")
+        with pytest.raises(LabelCardinalityError):
+            c.inc(job_id="job-overflow")
+        # existing series keep working at the cap
+        c.inc(job_id="job-0")
+        assert c.value(job_id="job-0") == 2
+        assert len(c) == 8
+
+    def test_labels_or_overflow_folds_at_the_cap(self):
+        fams = MetricFamilies()
+        c = fams.counter("per_tenant", labels=("tenant", "outcome"), max_series=2)
+        c.labels_or_overflow("tenant", tenant="a", outcome="ok").inc()
+        c.labels_or_overflow("tenant", tenant="b", outcome="ok").inc()
+        for i in range(5):  # past the cap: all fold into one exempt series
+            c.labels_or_overflow("tenant", tenant=f"hostile-{i}", outcome="ok").inc()
+        assert c.value(tenant="_overflow", outcome="ok") == 5
+        assert len(c) == 3  # cap + the one overflow series
+
+    def test_labels_or_overflow_still_rejects_bad_schema(self):
+        fams = MetricFamilies()
+        c = fams.counter("per_tenant", labels=("tenant",), max_series=1)
+        c.labels_or_overflow("tenant", tenant="a").inc()
+        with pytest.raises(LabelMismatchError):
+            c.labels_or_overflow("tenant", wrong="b")
+
+    def test_histogram_merge_respects_cap(self):
+        src = MetricFamilies()
+        h = src.histogram("lat", labels=("t",), max_series=2)
+        for t in ("a", "b", "c"):
+            try:
+                h.observe(0.1, t=t)
+            except LabelCardinalityError:
+                pass
+        dst = MetricFamilies()
+        dst.histogram("lat", labels=("t",), max_series=2)
+        dst.merge(src)  # both series fit; no raise
+        assert len(dst.get("lat")) == 2
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_and_inc(self):
+        fams = MetricFamilies()
+        g = fams.gauge("workers", labels=("state",))
+        g.set(4, state="busy")
+        g.inc(state="busy")
+        assert g.value(state="busy") == 5
+
+    def test_histogram_stat_and_quantile(self):
+        fams = MetricFamilies()
+        h = fams.histogram("lat", labels=("op",), unit="seconds")
+        for v in (0.01, 0.02, 0.04, 1.5):
+            h.observe(v, op="solve")
+        stat = h.stat(op="solve")
+        assert stat.count == 4
+        assert h.quantile(0.5, op="solve") > 0
+        assert h.quantile(0.99, op="missing") == 0.0
+
+    def test_histogram_exemplar_tracks_slowest(self):
+        fams = MetricFamilies()
+        h = fams.histogram("lat", labels=("op",))
+        h.observe(0.1, exemplar="span-fast", op="x")
+        h.observe(2.0, exemplar="span-slow", op="x")
+        h.observe(0.5, exemplar="span-mid", op="x")
+        ((labels, cell),) = h.samples()
+        assert labels == {"op": "x"}
+        assert cell[1] == {"span_id": "span-slow", "value": 2.0}
+
+
+class TestMergeAndRoundTrip:
+    def test_merge_adds_counters_and_folds_histograms(self):
+        a, b = MetricFamilies(), MetricFamilies()
+        for fams in (a, b):
+            fams.counter("n", labels=("k",)).inc(3, k="x")
+            fams.histogram("h", labels=("k",)).observe(0.5, k="x")
+        a.merge(b)
+        assert a.get("n").value(k="x") == 6
+        assert a.get("h").stat(k="x").count == 2
+
+    def test_merge_declares_unknown_families_from_snapshot(self):
+        src = MetricFamilies()
+        src.gauge("depth", labels=("q",)).set(7, q="main")
+        dst = MetricFamilies().merge(src.to_dict())
+        assert dst.get("depth").value(q="main") == 7
+        assert dst.get("depth").kind == "gauge"
+
+    def test_round_trip_is_lossless(self):
+        src = MetricFamilies()
+        src.counter("n", help="a count", labels=("k",)).inc(2, k="x")
+        src.histogram("h", labels=("k",)).observe(0.25, exemplar="sp1", k="y")
+        clone = MetricFamilies.from_dict(src.to_dict())
+        assert clone.to_dict() == src.to_dict()
+
+
+class TestRegistryIntegration:
+    def test_families_ride_metrics_registry_snapshots(self):
+        """Worker-process path: families ship home inside to_dict/merge."""
+        worker = MetricsRegistry()
+        worker.families.counter("fallbacks", labels=("solver",)).inc(solver="pcg")
+        parent = MetricsRegistry()
+        parent.merge(MetricsRegistry.from_dict(worker.to_dict()))
+        assert parent.families.get("fallbacks").value(solver="pcg") == 1
+
+    def test_empty_families_keep_snapshot_schema_unchanged(self):
+        assert "families" not in MetricsRegistry().to_dict()
+
+    def test_null_registry_families_are_noop(self):
+        fams = NULL_METRICS.families
+        assert fams is NULL_FAMILIES
+        c = fams.counter("n", labels=("k",))
+        c.inc(k="x")  # no validation, no storage
+        c.labels(k="x").inc()
+        assert len(fams) == 0
+
+    def test_reset_drops_families(self):
+        reg = MetricsRegistry()
+        reg.families.counter("n").inc()
+        reg.reset()
+        assert len(reg.families) == 0

@@ -1,0 +1,192 @@
+"""SeriesRecorder sampling/windows and SLO burn-rate evaluation."""
+
+import pytest
+
+from repro.obs import SLO, SeriesRecorder, SLOEngine, default_farm_slos, default_serve_slos
+from repro.obs.slo import BurnWindow
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+        return self.t
+
+
+def make_recorder(interval=1.0, capacity=600):
+    clock = FakeClock()
+    return SeriesRecorder(interval=interval, capacity=capacity, clock=clock), clock
+
+
+class TestSeriesRecorder:
+    def test_tick_is_interval_gated(self):
+        rec, clock = make_recorder(interval=1.0)
+        counts = iter(range(100))
+        rec.add_source("n", lambda: next(counts))
+        assert rec.tick()
+        assert not rec.tick()  # same instant: gated
+        clock.advance(0.5)
+        assert not rec.tick()
+        clock.advance(0.6)
+        assert rec.tick()
+        assert len(rec.window("n", 60)) == 2
+
+    def test_raising_and_nan_sources_are_skipped(self):
+        rec, clock = make_recorder()
+
+        def boom():
+            raise ValueError("not ready")
+
+        rec.add_source("bad", boom)
+        rec.add_source("nan", lambda: float("nan"))
+        rec.add_source("good", lambda: 1.0)
+        rec.tick()
+        assert rec.latest("bad") is None
+        assert rec.latest("nan") is None
+        assert rec.latest("good") == 1.0
+
+    def test_delta_tolerates_counter_reset(self):
+        rec, clock = make_recorder()
+        for value in (10, 15, 2, 6):  # drops 15 -> 2: a restart
+            rec.record("n", value, now=clock.advance(1.0))
+        # 10->15 adds 5, reset segment counts 2 from zero, 2->6 adds 4
+        assert rec.delta("n", 60) == 5 + 2 + 4
+
+    def test_rate_and_average_and_capacity(self):
+        rec, clock = make_recorder(capacity=4)
+        for i in range(10):
+            rec.record("n", float(i * 2), now=clock.advance(1.0))
+        assert len(rec.window("n", 1e9)) == 4  # ring buffer bounded
+        assert rec.rate("n", 1e9) == pytest.approx(2.0)
+        assert rec.average("n", 1e9) == pytest.approx((12 + 14 + 16 + 18) / 4)
+
+    def test_window_excludes_old_samples(self):
+        rec, clock = make_recorder()
+        rec.record("n", 1.0, now=0.0)
+        rec.record("n", 2.0, now=100.0)
+        assert [v for _, v in rec.window("n", 10, now=105.0)] == [2.0]
+
+
+class TestSLOValidation:
+    def test_ratio_slo_requires_series(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", objective="", kind="ratio", budget=0.1)
+
+    def test_threshold_slo_requires_value_series(self):
+        with pytest.raises(ValueError):
+            SLO(name="x", objective="", kind="threshold", budget=0.1, threshold=1.0)
+
+    def test_budget_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            SLO(
+                name="x", objective="", kind="ratio", budget=2.0,
+                bad_series="b", total_series="t",
+            )
+
+
+def ratio_slo(budget=0.1, windows=None):
+    return SLO(
+        name="failure_ratio",
+        objective="job_failure_ratio < 10%",
+        kind="ratio",
+        budget=budget,
+        bad_series="bad",
+        total_series="total",
+        windows=windows
+        or (BurnWindow(severity="critical", short_seconds=10, long_seconds=40, factor=2.0),),
+    )
+
+
+class TestBurnRates:
+    def feed(self, rec, clock, bad_per_tick, total_per_tick, ticks=50):
+        bad = total = 0.0
+        for _ in range(ticks):
+            bad += bad_per_tick
+            total += total_per_tick
+            now = clock.advance(1.0)
+            rec.record("bad", bad, now=now)
+            rec.record("total", total, now=now)
+
+    def test_healthy_traffic_is_ok(self):
+        rec, clock = make_recorder()
+        engine = SLOEngine(rec, [ratio_slo()])
+        self.feed(rec, clock, bad_per_tick=0, total_per_tick=10)
+        (status,) = engine.evaluate()
+        assert status.state == "ok"
+        assert status.value == 1.0  # all good
+
+    def test_sustained_burn_fires_both_windows(self):
+        rec, clock = make_recorder()
+        engine = SLOEngine(rec, [ratio_slo(budget=0.1)])
+        # 50% failing: burn = 0.5/0.1 = 5x >= the 2x factor in both windows
+        self.feed(rec, clock, bad_per_tick=5, total_per_tick=10)
+        (status,) = engine.evaluate()
+        assert status.state == "critical"
+        tier = status.tiers[0]
+        assert tier["firing"]
+        assert tier["short_burn"] == pytest.approx(5.0)
+        assert tier["long_burn"] == pytest.approx(5.0)
+
+    def test_short_spike_alone_does_not_fire(self):
+        rec, clock = make_recorder()
+        engine = SLOEngine(rec, [ratio_slo(budget=0.1)])
+        self.feed(rec, clock, bad_per_tick=0, total_per_tick=10, ticks=35)
+        self.feed(rec, clock, bad_per_tick=5, total_per_tick=10, ticks=6)
+        (status,) = engine.evaluate()
+        # short window burns hot but the 40s window is still diluted
+        assert status.tiers[0]["short_burn"] >= 2.0
+        assert status.tiers[0]["long_burn"] < 2.0
+        assert status.state == "ok"
+
+    def test_no_traffic_is_no_data(self):
+        rec, clock = make_recorder()
+        engine = SLOEngine(rec, [ratio_slo()])
+        (status,) = engine.evaluate()
+        assert status.state == "no_data"
+        assert engine.state() == "no_data"
+
+    def test_threshold_slo_on_sampled_quantile(self):
+        rec, clock = make_recorder()
+        slo = SLO(
+            name="p99",
+            objective="submit_to_result_p99 < 2s",
+            kind="threshold",
+            budget=0.1,
+            value_series="p99",
+            threshold=2.0,
+            op="<",
+            windows=(
+                BurnWindow(severity="critical", short_seconds=10, long_seconds=40, factor=2.0),
+            ),
+        )
+        engine = SLOEngine(rec, [slo])
+        for _ in range(50):
+            rec.record("p99", 5.0, now=clock.advance(1.0))  # every sample violates
+        (status,) = engine.evaluate()
+        assert status.state == "critical"
+        assert status.value == 5.0
+
+    def test_report_shape(self):
+        rec, clock = make_recorder()
+        engine = SLOEngine(rec, [ratio_slo()])
+        report = engine.to_dict()
+        assert set(report) == {"state", "slos"}
+        (entry,) = report["slos"]
+        assert {"name", "objective", "state", "value", "budget", "tiers"} <= set(entry)
+
+
+class TestStockSLOs:
+    def test_default_serve_slos_cover_the_acceptance_set(self):
+        names = {slo.name for slo in default_serve_slos()}
+        assert {"submit_to_result_p99", "cache_hit_ratio", "pcg_fallback_rate"} <= names
+        assert len(names) >= 3
+
+    def test_default_farm_slos_evaluate(self):
+        rec, clock = make_recorder()
+        engine = SLOEngine(rec, default_farm_slos())
+        assert len(engine.evaluate()) >= 3

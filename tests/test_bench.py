@@ -17,6 +17,7 @@ EXPECTED_BENCHMARKS = {
     "farm_throughput",
     "perf_kernels",
     "tracing_overhead",
+    "metrics_overhead",
     "scenario_sweep",
     "nn_pcg",
     "service_throughput",
@@ -103,6 +104,25 @@ class TestRunBench:
         # best interleaved pair at 1.05, here we only sanity-bound it
         assert 0.5 < tracing["overhead_ratio_best"] <= tracing["overhead_ratio"]
         assert tracing["overhead_ratio"] < 2.0
+
+    def test_metrics_overhead_records_activity(self, ci_report):
+        metrics = next(
+            b for b in ci_report["benchmarks"] if b["name"] == "metrics_overhead"
+        )
+        assert metrics["counters_recorded"] > 0
+        assert metrics["families_recorded"] > 0
+        assert metrics["disabled_seconds"] > 0
+        assert metrics["enabled_seconds"] > 0
+        # CI gates the best interleaved pair at 1.05; sanity-bound only here
+        assert 0.5 < metrics["overhead_ratio_best"] <= metrics["overhead_ratio"]
+        assert metrics["overhead_ratio"] < 2.0
+
+    def test_report_stamps_git_provenance(self, ci_report):
+        # both keys are always present; values are None only outside a checkout
+        assert "git_revision" in ci_report
+        assert "git_dirty" in ci_report
+        if ci_report["git_revision"] is not None:
+            assert isinstance(ci_report["git_dirty"], bool)
 
     def test_scenario_sweep_covers_registry(self, ci_report):
         from repro.fluid import list_scenarios

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.core",
     "repro.farm",
     "repro.serve",
+    "repro.obs",
     "repro.experiments",
 ]
 
@@ -35,7 +36,7 @@ def test_module_docstrings(package):
 def test_version_exposed():
     import repro
 
-    assert repro.__version__ == "1.9.0"
+    assert repro.__version__ == "1.10.0"
 
 
 def test_top_level_framework_importable():

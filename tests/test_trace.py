@@ -286,6 +286,28 @@ class TestSummaries:
             assert name in text
         assert format_summary(Tracer()) == "(no spans recorded)"
 
+    def test_event_type_counts_sorted_by_frequency(self):
+        from repro.trace import event_type_counts
+
+        counts = event_type_counts(_sample_tracer())
+        assert counts == {"divnorm": 2, "step": 2, "model_switch": 1}
+        assert list(counts)[-1] == "model_switch"  # least frequent last
+
+    def test_slowest_spans_ordered_and_capped(self):
+        from repro.trace import slowest_spans
+
+        spans = slowest_spans(_sample_tracer(), n=3)
+        assert len(spans) == 3
+        durations = [sp.dur for sp in spans]
+        assert durations == sorted(durations, reverse=True)
+        assert spans[0].name == "sim"  # the enclosing span is the slowest
+
+    def test_format_summary_includes_events_and_slowest_sections(self):
+        text = format_summary(_sample_tracer())
+        assert "events: divnorm=2  step=2  model_switch=1" in text
+        assert "slowest spans:" in text
+        assert "[span " in text
+
 
 # ----------------------------------------------------------------------
 # process default
