@@ -723,18 +723,28 @@ def _cmd_top(args) -> int:
     from repro.obs import SeriesRecorder, SLOEngine, default_farm_slos
 
     farm = _build_farm(args)
-    # live SLO panel: sample the farm's merged flat counters each repaint
-    # and surface any burning objectives under the fleet table
-    counters = farm.metrics.counters
+    # live SLO panel: sample the fleet's event-fed state each repaint and
+    # surface any burning objectives under the fleet table.  The flat
+    # farm/* counters are no use here — worker registries only merge into
+    # farm.metrics after every job finishes, by which time the renderer
+    # has exited — whereas FleetView folds worker events as they arrive.
+    fleet = farm.fleet
     recorder = SeriesRecorder(interval=min(1.0, max(0.1, args.interval)))
 
-    def flat(*names: str):
-        return lambda: sum(counters.get(n, 0.0) for n in names)
+    def terminal_jobs() -> float:
+        counts = fleet.counts()
+        return float(sum(counts.get(s, 0) for s in ("completed", "failed", "cancelled")))
 
-    recorder.add_source("farm_jobs", flat("farm/jobs"))
-    recorder.add_source("farm_jobs_failed", flat("farm/jobs_failed"))
-    recorder.add_source("farm_degradations", flat("farm/degradations"))
-    recorder.add_source("farm_resumes", flat("farm/resumes"))
+    recorder.add_source("farm_jobs", terminal_jobs)
+    recorder.add_source(
+        "farm_jobs_failed", lambda: float(fleet.counts().get("failed", 0))
+    )
+    recorder.add_source(
+        "farm_degradations", lambda: float(fleet.counters().get("pcg_fallbacks", 0))
+    )
+    recorder.add_source(
+        "farm_resumes", lambda: float(fleet.counters().get("resumes", 0))
+    )
     engine = SLOEngine(recorder, default_farm_slos())
 
     def alerts() -> list[str]:

@@ -1,8 +1,9 @@
 """Live farm telemetry: fold worker event streams into a fleet view.
 
 Workers emit small plain-dict *events* while they run — ``job_start``,
-throttled ``heartbeat`` progress beats, ``checkpoint``, ``pcg_fallback``
-degradations and a terminal ``job_end`` — over the same channel that
+throttled ``heartbeat`` progress beats, ``checkpoint``, ``resume``,
+``pcg_fallback`` degradations and a terminal ``job_end`` — over the same
+channel that
 carries their results (the process backend's queue, or a direct callback
 for the in-process backends).  :class:`FleetView` folds that stream into
 one thread-safe table of per-job state, and :func:`render_fleet` formats
@@ -170,6 +171,8 @@ class FleetView:
             elif etype == "pcg_fallback":
                 view.state = "degraded"
                 self._counters["pcg_fallbacks"] = self._counters.get("pcg_fallbacks", 0) + 1
+            elif etype == "resume":
+                self._counters["resumes"] = self._counters.get("resumes", 0) + 1
             elif etype == "job_end":
                 status = event.get("status")
                 view.state = status if status in _TERMINAL_STATES else "failed"

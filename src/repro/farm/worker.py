@@ -137,9 +137,10 @@ def run_job(
     proxy that routes solves through the shared inference service.
 
     ``on_event(dict)``, when given, receives the job's telemetry stream:
-    ``job_start``, throttled ``heartbeat`` beats (at most one per
-    ``heartbeat_seconds``), ``checkpoint``, ``pcg_fallback`` on graceful
-    degradation and a terminal ``job_end``.  Events are plain dicts so any
+    ``resume`` when picking up a checkpoint, ``job_start``, throttled
+    ``heartbeat`` beats (at most one per ``heartbeat_seconds``),
+    ``checkpoint``, ``pcg_fallback`` on graceful degradation and a
+    terminal ``job_end``.  Events are plain dicts so any
     backend can ship them over its own channel; the same events also land
     in the process tracer (:func:`repro.trace.get_tracer`) when enabled.
 
@@ -197,6 +198,7 @@ def run_job(
             sim.load_state(load_checkpoint(ckpt))
             resumed_from = sim.current_step
             m.inc("farm/resumes")
+            emit("resume", step=sim.current_step)
         emit(
             "job_start",
             step=sim.current_step,
@@ -280,6 +282,7 @@ def run_job(
                     sim.load_state(load_checkpoint(ckpt))
                     resumed_from = sim.current_step
                     m.inc("farm/resumes")
+                    emit("resume", step=sim.current_step)
 
         if job_span is not None:
             job_span.attrs["status"] = status

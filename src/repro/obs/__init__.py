@@ -34,11 +34,18 @@ from .families import (
     MetricFamilies,
     NULL_FAMILIES,
 )
-from .prometheus import ScrapeServer, render_prometheus, sanitize_metric_name
+from .prometheus import (
+    CONTENT_TYPE,
+    OPENMETRICS_CONTENT_TYPE,
+    ScrapeServer,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from .slo import SLO, SLOEngine, SLOStatus, default_serve_slos, default_farm_slos
 from .timeseries import SeriesRecorder
 
 __all__ = [
+    "CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
@@ -46,6 +53,7 @@ __all__ = [
     "LabelMismatchError",
     "MetricFamilies",
     "NULL_FAMILIES",
+    "OPENMETRICS_CONTENT_TYPE",
     "ScrapeServer",
     "SeriesRecorder",
     "SLO",

@@ -168,20 +168,44 @@ class MetricFamily:
             # bypass _key: the overflow series may be the cap+1'th
             return self._bound_cls(self, tuple(str(folded[n]) for n in names))
 
-    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+    def _lookup_key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        """Validate the label names and build the series key — no cap check.
+
+        For read-only lookups: a never-recorded series must read as its
+        zero/None default even when the family sits at the cardinality cap,
+        because a pure read creates nothing.
+        """
         names = self.label_names
         if len(labels) != len(names) or any(n not in labels for n in names):
             raise LabelMismatchError(
                 f"{self.name}: got labels {sorted(labels)}, declared {sorted(names)}"
             )
-        key = tuple(str(labels[n]) for n in names)
+        return tuple(str(labels[n]) for n in names)
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        key = self._lookup_key(labels)
         if key not in self._series and len(self._series) >= self.max_series:
             raise LabelCardinalityError(
-                f"{self.name}: new series {dict(zip(names, key))} would exceed "
-                f"the cardinality cap ({self.max_series} series); a label is "
-                f"being fed unbounded values (ids, paths, timestamps)"
+                f"{self.name}: new series {dict(zip(self.label_names, key))} "
+                f"would exceed the cardinality cap ({self.max_series} series); "
+                f"a label is being fed unbounded values (ids, paths, timestamps)"
             )
         return key
+
+    def _merge_key(self, key: tuple[str, ...]) -> tuple[str, ...]:
+        """Resolve the series key for a merged-in cell.
+
+        Existing and under-cap keys pass through; past the cap the cell
+        folds into the all-``_overflow`` series (itself cap-exempt,
+        mirroring :meth:`labels_or_overflow`) instead of raising.  Merge
+        runs on the result-delivery path — a worker snapshot whose series
+        union crosses the cap must degrade to an aggregate, not crash the
+        pool or grow the parent without bound.
+        """
+        with self._lock:
+            if key in self._series or len(self._series) < self.max_series:
+                return key
+        return tuple("_overflow" for _ in self.label_names)
 
     # value-cell primitives, overridden where the cell is not a float ------
     def _add(self, key: tuple[str, ...], value: float) -> None:
@@ -248,7 +272,7 @@ class Counter(MetricFamily):
 
     def value(self, **labels: object) -> float:
         """Current value of one series (0 if never incremented)."""
-        return self._series.get(self._key(labels), 0.0)
+        return self._series.get(self._lookup_key(labels), 0.0)
 
     def total(self) -> float:
         """Sum over every series."""
@@ -256,7 +280,7 @@ class Counter(MetricFamily):
             return sum(self._series.values())
 
     def _merge_cell(self, key: tuple[str, ...], payload: object) -> None:
-        self._add(key, float(payload))
+        self._add(self._merge_key(key), float(payload))
 
 
 class Gauge(MetricFamily):
@@ -276,10 +300,10 @@ class Gauge(MetricFamily):
         self._add(self._key(labels), value)
 
     def value(self, **labels: object) -> float:
-        return self._series.get(self._key(labels), 0.0)
+        return self._series.get(self._lookup_key(labels), 0.0)
 
     def _merge_cell(self, key: tuple[str, ...], payload: object) -> None:
-        self._set(key, float(payload))
+        self._set(self._merge_key(key), float(payload))
 
 
 class Histogram(MetricFamily):
@@ -311,7 +335,7 @@ class Histogram(MetricFamily):
 
     def stat(self, **labels: object) -> HistogramStat | None:
         """The :class:`HistogramStat` of one series (None if unobserved)."""
-        cell = self._series.get(self._key(labels))
+        cell = self._series.get(self._lookup_key(labels))
         return cell[0] if cell is not None else None
 
     def quantile(self, q: float, **labels: object) -> float:
@@ -329,12 +353,9 @@ class Histogram(MetricFamily):
         incoming = HistogramStat.from_dict(payload["hist"])
         exemplar = payload.get("exemplar")
         with self._lock:
+            key = self._merge_key(key)
             cell = self._series.get(key)
             if cell is None:
-                if key not in self._series and len(self._series) >= self.max_series:
-                    raise LabelCardinalityError(
-                        f"{self.name}: merge would exceed the cardinality cap"
-                    )
                 cell = self._series[key] = [HistogramStat(), None]
             cell[0].merge(incoming)
             if exemplar is not None and (
@@ -470,7 +491,10 @@ class MetricFamilies:
 
         Counter and histogram series combine commutatively; gauge series
         take the incoming value.  Families unknown here are declared from
-        the snapshot's own schema.  Returns ``self``.
+        the snapshot's own schema.  Incoming series past the cardinality
+        cap fold into the ``_overflow`` series rather than raising — merge
+        runs on the result-delivery path and must never crash it.  Returns
+        ``self``.
         """
         if not self.enabled:
             return self

@@ -12,14 +12,20 @@ One render pass produces the standard ``text/plain; version=0.0.4`` page:
   re-instrumenting: slash-scoped names sanitize to
   ``repro_sim_projection_pcg_solves_total`` and timers become
   ``summary``-typed ``_seconds_sum``/``_seconds_count`` pairs;
-* histogram series may carry an OpenMetrics-style **exemplar** — the trace
-  span id of their slowest observation — appended to the bucket that
+* with ``openmetrics=True`` the page is rendered in the OpenMetrics
+  exposition instead (``# EOF`` trailer, counter ``TYPE`` headers on the
+  un-suffixed name) and histogram series may carry an **exemplar** — the
+  trace span id of their slowest observation — appended to the bucket that
   observation landed in, linking a fat tail straight back to its span.
+  Exemplars are OpenMetrics-only: a classic ``text/plain; version=0.0.4``
+  parser reads the trailing ``#`` as a malformed timestamp and fails the
+  whole scrape, so the classic page never emits them.
 
 :class:`ScrapeServer` serves the page from a localhost-only stdlib HTTP
 server on a daemon thread (``GET /metrics``), for ``repro serve
---metrics-port``.  It binds ``127.0.0.1`` unconditionally: the scrape
-surface is an operator loopback, not a public listener.
+--metrics-port``, negotiating the exposition from the scraper's ``Accept``
+header.  It binds ``127.0.0.1`` unconditionally: the scrape surface is an
+operator loopback, not a public listener.
 """
 
 from __future__ import annotations
@@ -36,12 +42,14 @@ from .families import Counter, Gauge, Histogram, MetricFamilies
 
 __all__ = [
     "CONTENT_TYPE",
+    "OPENMETRICS_CONTENT_TYPE",
     "ScrapeServer",
     "render_prometheus",
     "sanitize_metric_name",
 ]
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 _NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 _NAME_SQUEEZE = re.compile(r"__+")
@@ -121,24 +129,36 @@ def _render_histogram_series(
 def render_prometheus(
     families: MetricFamilies | None = None,
     registry: MetricsRegistry | None = None,
-    include_exemplars: bool = True,
+    openmetrics: bool = False,
 ) -> str:
-    """Render one Prometheus text-format page.
+    """Render one Prometheus exposition page.
 
     ``families`` render natively; ``registry`` (the flat counter/timer bag)
     renders under sanitized names so legacy instrumentation is scrapeable
     unchanged.  Either may be ``None``.
+
+    ``openmetrics=True`` renders the OpenMetrics exposition — counter
+    ``TYPE`` headers on the un-suffixed name, histogram exemplars, and the
+    mandatory ``# EOF`` trailer.  The default classic ``0.0.4`` page omits
+    exemplars entirely: classic parsers reject them as malformed
+    timestamps, losing every metric on the page.
     """
     lines: list[str] = []
+
+    def counter_header(name: str, help_text: str) -> str:
+        # OpenMetrics declares counters on the base name and samples on
+        # `<base>_total`; the classic format uses `<base>_total` for both
+        base = name[: -len("_total")] if name.endswith("_total") else name
+        _header(lines, base if openmetrics else base + "_total", "counter", help_text)
+        return base + "_total"
+
     if families is not None:
         for family in families.families():
             name = sanitize_metric_name(family.name)
             if isinstance(family, Counter):
-                if not name.endswith("_total"):
-                    name += "_total"  # counter naming convention, like flat counters
-                _header(lines, name, "counter", family.help)
+                sample_name = counter_header(name, family.help)
                 for labels, value in family.samples():
-                    lines.append(f"{name}{_labels_text(labels)} {_fmt(value)}")
+                    lines.append(f"{sample_name}{_labels_text(labels)} {_fmt(value)}")
             elif isinstance(family, Gauge):
                 _header(lines, name, "gauge", family.help)
                 for labels, value in family.samples():
@@ -148,15 +168,14 @@ def render_prometheus(
                 for labels, cell in family.samples():
                     stat, exemplar = cell
                     _render_histogram_series(
-                        lines, name, labels, stat, exemplar, include_exemplars
+                        lines, name, labels, stat, exemplar, openmetrics
                     )
     if registry is not None:
         for raw_name in sorted(registry.counters):
-            name = sanitize_metric_name(raw_name)
-            if not name.endswith("_total"):
-                name += "_total"
-            _header(lines, name, "counter", f"flat counter {raw_name}")
-            lines.append(f"{name} {_fmt(registry.counters[raw_name])}")
+            sample_name = counter_header(
+                sanitize_metric_name(raw_name), f"flat counter {raw_name}"
+            )
+            lines.append(f"{sample_name} {_fmt(registry.counters[raw_name])}")
         for raw_name in sorted(registry.timers):
             stat = registry.timers[raw_name]
             name = sanitize_metric_name(raw_name)
@@ -165,6 +184,8 @@ def render_prometheus(
             _header(lines, name, "summary", f"flat timer {raw_name}")
             lines.append(f"{name}_sum {_fmt(stat.total)}")
             lines.append(f"{name}_count {stat.count}")
+    if openmetrics:
+        lines.append("# EOF")
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -174,11 +195,26 @@ class ScrapeServer:
 
     ``render`` is called per request on the serving thread, so it must be
     thread-safe (both registries take their own locks / copy under GIL).
-    Pass ``port=0`` for an ephemeral port; read it back from ``.port``.
+    When ``render`` accepts an ``openmetrics`` keyword the server
+    negotiates the exposition: scrapers whose ``Accept`` header asks for
+    ``application/openmetrics-text`` get the OpenMetrics page (with
+    exemplars); everyone else gets the classic ``0.0.4`` page without
+    them.  Pass ``port=0`` for an ephemeral port; read it back from
+    ``.port``.
     """
 
-    def __init__(self, render: Callable[[], str], port: int = 9464):
+    def __init__(self, render: Callable[..., str], port: int = 9464):
+        import inspect
+
         self._render = render
+        try:
+            parameters = inspect.signature(render).parameters.values()
+            self._negotiates = any(
+                p.name == "openmetrics" or p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters
+            )
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            self._negotiates = False
         self._requested_port = int(port)
         self._httpd: http.server.ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -193,19 +229,26 @@ class ScrapeServer:
         if self._httpd is not None:
             raise RuntimeError("scrape server already started")
         render = self._render
+        negotiates = self._negotiates
 
         class Handler(http.server.BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 - stdlib API name
                 if self.path.split("?", 1)[0] not in ("/metrics", "/"):
                     self.send_error(404, "only /metrics is served")
                     return
+                accept = self.headers.get("Accept", "")
+                openmetrics = negotiates and "application/openmetrics-text" in accept
                 try:
-                    body = render().encode("utf-8")
+                    text = render(openmetrics=True) if openmetrics else render()
+                    body = text.encode("utf-8")
                 except Exception as exc:  # surface render bugs to the scraper
                     self.send_error(500, f"render failed: {type(exc).__name__}")
                     return
                 self.send_response(200)
-                self.send_header("Content-Type", CONTENT_TYPE)
+                self.send_header(
+                    "Content-Type",
+                    OPENMETRICS_CONTENT_TYPE if openmetrics else CONTENT_TYPE,
+                )
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)

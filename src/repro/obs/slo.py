@@ -9,7 +9,11 @@ is how fast that budget is being consumed relative to the sustainable pace::
     burn = bad_fraction(window) / budget
 
 ``burn == 1`` spends exactly the budget; ``burn == 10`` exhausts it ten
-times too fast.  Alerting on a single window is either twitchy (short) or
+times too fast.  The bad fraction caps at 1.0, so the burn rate caps at
+``1/budget`` — a tier whose declared factor exceeds that ceiling fires at
+the ceiling instead of becoming unreachable (a 10x tier on a 0.5 budget
+fires at total failure rather than never).  Alerting on a single window is
+either twitchy (short) or
 numb (long), so each severity tier requires **two** windows to burn at once
 — the long window proves the problem is real, the short window proves it is
 *still happening* (the standard multi-window, multi-burn-rate pattern).
@@ -187,11 +191,16 @@ class SLOEngine:
             long_bad = slo.bad_fraction(self.recorder, window.long_seconds, now=now)
             short_burn = None if short_bad is None else short_bad / slo.budget
             long_burn = None if long_bad is None else long_bad / slo.budget
+            # bad_fraction is capped at 1.0, so the burn rate can never
+            # exceed 1/budget: a tier whose factor lies beyond that (e.g.
+            # a 10x tier on a 0.5 budget) would be unreachable and the SLO
+            # silently inert — clamp the firing threshold to the ceiling
+            effective_factor = min(window.factor, 1.0 / slo.budget)
             firing = (
                 short_burn is not None
                 and long_burn is not None
-                and short_burn >= window.factor
-                and long_burn >= window.factor
+                and short_burn >= effective_factor
+                and long_burn >= effective_factor
             )
             tiers.append(
                 {
@@ -199,6 +208,7 @@ class SLOEngine:
                     "short_seconds": window.short_seconds,
                     "long_seconds": window.long_seconds,
                     "factor": window.factor,
+                    "effective_factor": effective_factor,
                     "short_burn": short_burn,
                     "long_burn": long_burn,
                     "firing": firing,

@@ -121,9 +121,16 @@ class ServiceClient:
         """The service's stats snapshot."""
         return (await self._request({"op": "stats"}))["stats"]
 
-    async def metrics(self) -> str:
-        """The service's metrics in Prometheus text exposition format."""
-        return (await self._request({"op": "metrics"}))["text"]
+    async def metrics(self, openmetrics: bool = False) -> str:
+        """The service's metrics in Prometheus text exposition format.
+
+        ``openmetrics=True`` asks for the OpenMetrics exposition instead
+        (exemplars, ``# EOF`` trailer).
+        """
+        request = {"op": "metrics"}
+        if openmetrics:
+            request["openmetrics"] = True
+        return (await self._request(request))["text"]
 
     async def health(self) -> dict:
         """The service's SLO health report (state + per-objective burn rates)."""

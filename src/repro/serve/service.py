@@ -37,7 +37,7 @@ from repro.farm.pool import Pool
 from repro.farm.telemetry import FleetView
 from repro.metrics import MetricsRegistry
 from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
-from repro.obs.prometheus import render_prometheus
+from repro.obs.prometheus import OPENMETRICS_CONTENT_TYPE, render_prometheus
 from repro.obs.slo import SLO, SLOEngine, default_serve_slos
 from repro.obs.timeseries import SeriesRecorder
 from repro.trace import HistogramStat
@@ -536,14 +536,18 @@ class SimulationService:
             "pool": self.autoscaler.snapshot() if self.autoscaler is not None else None,
         }
 
-    def metrics_text(self) -> str:
-        """The Prometheus text-format exposition of every metric surface.
+    def metrics_text(self, openmetrics: bool = False) -> str:
+        """The Prometheus exposition of every metric surface.
 
         Labeled families (including worker series merged home through the
-        pool) plus the flat counter/timer registry, with exemplars linking
-        slow histogram buckets to their trace spans.
+        pool) plus the flat counter/timer registry.  ``openmetrics=True``
+        renders the OpenMetrics exposition, which additionally carries
+        exemplars linking slow histogram buckets to their trace spans —
+        the classic ``0.0.4`` page must not (classic parsers reject them).
         """
-        return render_prometheus(self.metrics.families, self.metrics)
+        return render_prometheus(
+            self.metrics.families, self.metrics, openmetrics=openmetrics
+        )
 
     def health(self) -> dict:
         """SLO burn-rate evaluation over the recorded series.
@@ -676,12 +680,15 @@ class ServiceServer:
         elif op == "stats":
             await write_frame(writer, {"ok": True, "stats": self.service.stats()})
         elif op == "metrics":
+            openmetrics = bool(request.get("openmetrics", False))
             await write_frame(
                 writer,
                 {
                     "ok": True,
-                    "content_type": PROMETHEUS_CONTENT_TYPE,
-                    "text": self.service.metrics_text(),
+                    "content_type": (
+                        OPENMETRICS_CONTENT_TYPE if openmetrics else PROMETHEUS_CONTENT_TYPE
+                    ),
+                    "text": self.service.metrics_text(openmetrics=openmetrics),
                 },
             )
         elif op == "health":

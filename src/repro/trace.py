@@ -81,6 +81,7 @@ EVENT_TYPES = frozenset(
         "job_start",  # a farm job (attempt) began executing
         "job_end",  # a farm job attempt reached a terminal state
         "heartbeat",  # periodic worker progress sample
+        "resume",  # a job picked up a checkpoint (retry or pcg fallback)
     }
 )
 

@@ -110,6 +110,14 @@ class TestRendering:
         assert fleet.counters()["pcg_fallbacks"] == 2
         assert fleet.to_dict()["counters"]["pcg_fallbacks"] == 2
 
+    def test_resume_events_bump_the_fleet_counter(self):
+        """The ``repro top`` SLO panel samples this counter live; it must
+        move while jobs run, not only after the farm merges results."""
+        fleet = FleetView()
+        fleet.observe({"type": "resume", "job_id": "a", "step": 4})
+        fleet.observe({"type": "resume", "job_id": "a", "step": 8})
+        assert fleet.counters()["resumes"] == 2
+
     def test_narrow_terminal_truncates_instead_of_crashing(self):
         fleet = FleetView()
         fleet.bump("cache_hits", 99)

@@ -111,6 +111,50 @@ class TestCardinalityGuard:
         dst.merge(src)  # both series fit; no raise
         assert len(dst.get("lat")) == 2
 
+    def test_merge_past_cap_folds_instead_of_raising(self):
+        """Merge runs on the pool's result-delivery path: a worker snapshot
+        whose series union crosses the cap must fold into ``_overflow``,
+        never raise (histograms) or grow without bound (counters/gauges)."""
+        src = MetricFamilies()
+        src.counter("n", labels=("k",), max_series=4).inc(1, k="a")
+        src.get("n").inc(2, k="b")
+        src.get("n").inc(4, k="c")
+        src.gauge("depth", labels=("k",), max_series=4).set(7, k="c")
+        h = src.histogram("lat", labels=("k",), max_series=4)
+        for k in ("a", "b", "c"):
+            h.observe(0.1, k=k)
+
+        dst = MetricFamilies()
+        dst.counter("n", labels=("k",), max_series=2)
+        dst.gauge("depth", labels=("k",), max_series=1)
+        dst.gauge("depth", labels=("k",)).set(1, k="x")
+        dst.histogram("lat", labels=("k",), max_series=2)
+        dst.merge(src)  # must not raise
+        # counters: a+b fit, c folds; nothing is lost from the books
+        assert dst.get("n").value(k="_overflow") == 4
+        assert dst.get("n").total() == 7
+        assert len(dst.get("n")) == 3  # cap + the one exempt overflow series
+        # gauges: the full family folds the incoming series
+        assert dst.get("depth").value(k="_overflow") == 7
+        # histograms: the overflowing series' observations land in overflow
+        over = dst.get("lat").stat(k="_overflow")
+        assert over is not None and over.count == 1
+        assert len(dst.get("lat")) == 3
+
+    def test_reads_at_the_cap_never_raise_or_create(self):
+        fams = MetricFamilies()
+        c = fams.counter("n", labels=("k",), max_series=1)
+        c.inc(k="a")
+        assert c.value(k="never-recorded") == 0.0
+        g = fams.gauge("g", labels=("k",), max_series=1)
+        g.set(1, k="a")
+        assert g.value(k="never-recorded") == 0.0
+        h = fams.histogram("h", labels=("k",), max_series=1)
+        h.observe(0.1, k="a")
+        assert h.stat(k="never-recorded") is None
+        assert h.quantile(0.5, k="never-recorded") == 0.0
+        assert len(c) == len(g) == len(h) == 1  # pure reads created nothing
+
 
 class TestGaugesAndHistograms:
     def test_gauge_set_and_inc(self):

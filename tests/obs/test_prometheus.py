@@ -9,7 +9,7 @@ from repro.obs import (
     render_prometheus,
     sanitize_metric_name,
 )
-from repro.obs.prometheus import CONTENT_TYPE
+from repro.obs.prometheus import CONTENT_TYPE, OPENMETRICS_CONTENT_TYPE
 
 
 class TestSanitizeNames:
@@ -52,18 +52,32 @@ class TestRenderFamilies:
         assert 'repro_lat_count{op="solve"} 4' in text
         assert "repro_lat_sum" in text
 
-    def test_exemplar_lands_on_the_slow_bucket(self):
+    def test_exemplars_render_only_on_the_openmetrics_page(self):
+        """Exemplars are OpenMetrics-only: a classic 0.0.4 parser reads the
+        trailing `#` as a malformed timestamp and fails the whole scrape,
+        so the default page must never carry them."""
         fams = MetricFamilies()
         h = fams.histogram("lat", labels=("op",))
         h.observe(0.001, op="x")
         h.observe(1.7, exemplar="span-slow", op="x")
-        text = render_prometheus(fams)
-        exemplar_lines = [l for l in text.splitlines() if "span_id" in l]
+        classic = render_prometheus(fams)
+        assert "span_id" not in classic
+        assert "# EOF" not in classic
+        om = render_prometheus(fams, openmetrics=True)
+        exemplar_lines = [l for l in om.splitlines() if "span_id" in l]
         assert len(exemplar_lines) == 1
         assert 'span_id="span-slow"' in exemplar_lines[0]
         assert exemplar_lines[0].startswith("repro_lat_bucket")
-        # and it can be switched off for strict 0.0.4 scrapers
-        assert "span_id" not in render_prometheus(fams, include_exemplars=False)
+        assert om.splitlines()[-1] == "# EOF"
+
+    def test_openmetrics_counter_type_header_uses_base_name(self):
+        fams = MetricFamilies()
+        fams.counter("hits_total").inc(2)
+        om = render_prometheus(fams, openmetrics=True)
+        assert "# TYPE repro_hits counter" in om
+        assert "repro_hits_total 2" in om
+        classic = render_prometheus(fams)
+        assert "# TYPE repro_hits_total counter" in classic
 
     def test_label_values_are_escaped(self):
         fams = MetricFamilies()
@@ -102,6 +116,31 @@ class TestScrapeServer:
                 assert resp.headers["Content-Type"] == CONTENT_TYPE
                 body = resp.read().decode()
             assert "repro_hits_total 7" in body
+        finally:
+            server.stop()
+
+    def test_accept_header_negotiates_openmetrics(self):
+        fams = MetricFamilies()
+        fams.histogram("lat").observe(1.0, exemplar="sp1")
+        server = ScrapeServer(
+            lambda openmetrics=False: render_prometheus(fams, openmetrics=openmetrics),
+            port=0,
+        )
+        try:
+            port = server.start()
+            url = f"http://127.0.0.1:{port}/metrics"
+            request = urllib.request.Request(
+                url, headers={"Accept": "application/openmetrics-text"}
+            )
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                assert resp.headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+                body = resp.read().decode()
+            assert "span_id" in body
+            assert body.splitlines()[-1] == "# EOF"
+            # a plain scrape stays on the classic page: no exemplars
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                assert "span_id" not in resp.read().decode()
         finally:
             server.stop()
 

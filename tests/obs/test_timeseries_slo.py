@@ -143,6 +143,27 @@ class TestBurnRates:
         assert status.tiers[0]["long_burn"] < 2.0
         assert status.state == "ok"
 
+    def test_factor_beyond_burn_ceiling_clamps_and_still_fires(self):
+        """bad_fraction caps at 1.0, so burn caps at 1/budget: a 10x tier
+        on a 0.5 budget (the stock cache_hit_ratio shape) must fire at the
+        ceiling instead of being unreachable and silently inert."""
+        rec, clock = make_recorder()
+        slo = ratio_slo(
+            budget=0.5,
+            windows=(
+                BurnWindow(severity="critical", short_seconds=10, long_seconds=40, factor=10.0),
+            ),
+        )
+        engine = SLOEngine(rec, [slo])
+        self.feed(rec, clock, bad_per_tick=10, total_per_tick=10)  # 100% bad
+        (status,) = engine.evaluate()
+        tier = status.tiers[0]
+        assert tier["factor"] == 10.0
+        assert tier["effective_factor"] == pytest.approx(2.0)  # 1 / budget
+        assert tier["short_burn"] == pytest.approx(2.0)
+        assert tier["firing"]
+        assert status.state == "critical"
+
     def test_no_traffic_is_no_data(self):
         rec, clock = make_recorder()
         engine = SLOEngine(rec, [ratio_slo()])

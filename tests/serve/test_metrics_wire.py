@@ -6,7 +6,7 @@ import asyncio
 
 from repro.farm import JobSpec
 from repro.metrics import MetricsRegistry
-from repro.obs.prometheus import CONTENT_TYPE
+from repro.obs.prometheus import CONTENT_TYPE, OPENMETRICS_CONTENT_TYPE
 from repro.serve import ServiceClient, ServiceServer, SimulationService, TenantQuota
 
 
@@ -106,6 +106,29 @@ class TestMetricsWireOp:
         assert response["ok"] is True
         assert response["content_type"] == CONTENT_TYPE
         assert isinstance(response["text"], str)
+
+    def test_metrics_op_negotiates_openmetrics(self, tmp_path):
+        """The default page is classic 0.0.4 (exemplar-free — classic
+        parsers fail the whole scrape on one); ``openmetrics: true``
+        switches the exposition and the advertised content type."""
+
+        async def run():
+            service, server = await serve(tmp_path)
+            try:
+                async with await ServiceClient.open(tmp_path / "serve.sock") as client:
+                    await client.submit(spec("a"))
+                    await client.result("a", timeout=60.0)
+                    classic = await client.metrics()
+                    om = await client._request({"op": "metrics", "openmetrics": True})
+            finally:
+                await shutdown(service, server)
+            return classic, om
+
+        classic, om = asyncio.run(run())
+        assert "span_id" not in classic
+        assert "# EOF" not in classic
+        assert om["content_type"] == OPENMETRICS_CONTENT_TYPE
+        assert om["text"].splitlines()[-1] == "# EOF"
 
     def test_health_round_trip_evaluates_slos(self, tmp_path):
         async def run():
